@@ -1,0 +1,25 @@
+//! One bench per paper artifact: how long each table/figure takes to
+//! regenerate, with a shape assertion so the bench run doubles as a
+//! reproduction smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // Figure regeneration involves full sweeps; keep sampling light.
+    group.sample_size(10);
+    for name in pbc_experiments::EXPERIMENTS {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = pbc_experiments::run(black_box(name)).expect("experiment runs");
+                assert!(!out.tables.is_empty(), "{name} produced no tables");
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! The `pbc` command-line tool — see `pbc --help`.
+
+use std::process::ExitCode;
+
+const HELP: &str = "\
+pbc — cross-component power coordination for power-bounded systems
+
+USAGE:
+  pbc platforms                         list the built-in platform models
+  pbc benchmarks                        list the Table-3 workload suite
+  pbc probe     -p PLATFORM -w BENCH    profile the critical power values
+  pbc coord     -p PLATFORM -w BENCH -b WATTS
+                                        coordinate a budget (COORD)
+  pbc sweep     -p PLATFORM -w BENCH -b WATTS [--save FILE]
+                                        exhaustive allocation sweep
+  pbc scenarios -p PLATFORM -w BENCH -b WATTS
+                                        sweep with scenario labels (CPU)
+  pbc online    -p PLATFORM -w BENCH -b WATTS
+                                        model-free online coordination
+  pbc corun     -p PLATFORM -w A,B -b WATTS
+                                        coordinate two co-running jobs
+  pbc hybrid    --host CPU --card GPU --host-bench X --gpu-bench Y
+                --gpu-share F -b WATTS  coordinate a host+card node
+  pbc report    -p PLATFORM -w BENCH -b WATTS
+                                        markdown coordination report
+  pbc rapl-status                       read real RAPL domains (Linux)
+
+PLATFORM: ivybridge | haswell | titan-xp | titan-v
+BENCH:    see `pbc benchmarks`";
+
+struct Args {
+    platform: Option<String>,
+    bench: Option<String>,
+    budget: Option<f64>,
+    save: Option<String>,
+    host: Option<String>,
+    card: Option<String>,
+    host_bench: Option<String>,
+    gpu_bench: Option<String>,
+    gpu_share: Option<f64>,
+}
+
+fn parse(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        platform: None,
+        bench: None,
+        budget: None,
+        save: None,
+        host: None,
+        card: None,
+        host_bench: None,
+        gpu_bench: None,
+        gpu_share: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        let take = |i: usize| -> Result<&String, String> {
+            rest.get(i + 1).ok_or_else(|| format!("{} needs a value", rest[i]))
+        };
+        match rest[i].as_str() {
+            "-p" | "--platform" => {
+                args.platform = Some(take(i)?.clone());
+                i += 2;
+            }
+            "-w" | "--workload" | "--bench" => {
+                args.bench = Some(take(i)?.clone());
+                i += 2;
+            }
+            "-b" | "--budget" => {
+                args.budget = Some(
+                    take(i)?
+                        .parse()
+                        .map_err(|e| format!("bad budget: {e}"))?,
+                );
+                i += 2;
+            }
+            "--save" => {
+                args.save = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--host" => {
+                args.host = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--card" => {
+                args.card = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--host-bench" => {
+                args.host_bench = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--gpu-bench" => {
+                args.gpu_bench = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--gpu-share" => {
+                args.gpu_share = Some(
+                    take(i)?
+                        .parse()
+                        .map_err(|e| format!("bad gpu share: {e}"))?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn need<T>(v: Option<T>, what: &str) -> Result<T, String> {
+    v.ok_or_else(|| format!("missing {what}"))
+}
+
+fn run() -> Result<String, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(HELP.to_string());
+    };
+    let rest = &argv[1..];
+    let e = |err: pbc_types::PbcError| err.to_string();
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(HELP.to_string()),
+        "platforms" => Ok(pbc_cli::cmd_platforms()),
+        "benchmarks" => Ok(pbc_cli::cmd_benchmarks()),
+        "rapl-status" => Ok(pbc_cli::cmd_rapl_status()),
+        "probe" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_probe(&need(a.platform, "-p PLATFORM")?, &need(a.bench, "-w BENCH")?)
+                .map_err(e)
+        }
+        "coord" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_coord(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "sweep" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_sweep(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+                a.save.as_deref(),
+            )
+            .map_err(e)
+        }
+        "scenarios" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_scenarios(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "report" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_report(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "corun" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_corun(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w A,B")?,
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "hybrid" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_hybrid(
+                &need(a.host, "--host CPU-PLATFORM")?,
+                &need(a.card, "--card GPU-PLATFORM")?,
+                &need(a.host_bench, "--host-bench BENCH")?,
+                &need(a.gpu_bench, "--gpu-bench BENCH")?,
+                a.gpu_share.unwrap_or(0.7),
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "online" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_online(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        other => Err(format!("unknown command {other}\n\n{HELP}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

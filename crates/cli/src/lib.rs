@@ -1,0 +1,470 @@
+//! # pbc-cli
+//!
+//! Implementation of the `pbc` command-line tool. Every subcommand is a
+//! plain function returning the rendered output, so the whole surface is
+//! unit-testable without spawning processes; the `pbc` binary is a thin
+//! argument-parsing shell around these.
+//!
+//! ```text
+//! pbc platforms                 # the built-in platform models
+//! pbc benchmarks                # the Table-3 workload suite
+//! pbc probe      -p ivybridge -w sra
+//! pbc coord      -p ivybridge -w sra -b 208
+//! pbc sweep      -p ivybridge -w sra -b 240 [--save profile.csv]
+//! pbc scenarios  -p ivybridge -w sra -b 240
+//! pbc online     -p ivybridge -w stream -b 208
+//! pbc rapl-status               # real hardware (Intel powercap)
+//! ```
+
+use pbc_core::{
+    classify_cpu_point, coord_cpu, coord_gpu, coordinate_hybrid, sweep_budget, workload_report,
+    CoordStatus, CriticalPowers, GpuCoordParams, HybridWorkload, OnlineConfig, OnlineCoordinator,
+    PowerBoundedProblem, DEFAULT_STEP,
+};
+use pbc_powersim::coordinate_corun;
+use pbc_platform::{presets, NodeSpec, Platform, PlatformId};
+use pbc_powersim::solve;
+use pbc_types::{PbcError, PowerAllocation, Result, Watts};
+use pbc_workloads::{all_benchmarks, by_name, Benchmark};
+use std::fmt::Write as _;
+
+/// Resolve a platform slug.
+pub fn platform(slug: &str) -> Result<Platform> {
+    PlatformId::from_slug(slug)
+        .map(presets::by_id)
+        .ok_or_else(|| {
+            PbcError::NotFound(format!(
+                "platform {slug:?}; known: ivybridge, haswell, titan-xp, titan-v"
+            ))
+        })
+}
+
+/// Resolve a benchmark slug.
+pub fn benchmark(slug: &str) -> Result<Benchmark> {
+    by_name(slug).ok_or_else(|| {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.id.slug()).collect();
+        PbcError::NotFound(format!("benchmark {slug:?}; known: {}", names.join(", ")))
+    })
+}
+
+/// `pbc platforms`
+pub fn cmd_platforms() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:<40} {:>12} {:>12}", "platform", "description", "floor (W)", "max cap (W)");
+    for p in presets::all_platforms() {
+        let max = match &p.spec {
+            NodeSpec::Cpu { cpu, dram } => cpu.max_power(1.0) + dram.max_power(2.0),
+            NodeSpec::Gpu(g) => g.max_card_cap,
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<40} {:>12.1} {:>12.1}",
+            p.id.to_string(),
+            p.description,
+            p.min_node_power().value(),
+            max.value()
+        );
+    }
+    out
+}
+
+/// `pbc benchmarks`
+pub fn cmd_benchmarks() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:<6} {:<18} {:>12}  description", "benchmark", "suite", "class", "FLOP/byte");
+    for b in all_benchmarks() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<6} {:<18} {:>12.3}  {}",
+            b.id.to_string(),
+            match b.target {
+                pbc_workloads::Target::Cpu => "CPU",
+                pbc_workloads::Target::Gpu => "GPU",
+            },
+            b.class.to_string(),
+            b.demand.mean_intensity(),
+            b.description
+        );
+    }
+    out
+}
+
+/// `pbc probe -p <platform> -w <bench>`
+pub fn cmd_probe(platform_slug: &str, bench_slug: &str) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let mut out = String::new();
+    match &p.spec {
+        NodeSpec::Cpu { cpu, dram } => {
+            let c = CriticalPowers::probe(cpu, dram, &b.demand);
+            let _ = writeln!(out, "critical power values for {} on {}:", b.id, p.id);
+            let _ = writeln!(out, "  P_cpu,L1 (max demand)        = {:.1} W", c.cpu_l1.value());
+            let _ = writeln!(out, "  P_cpu,L2 (lowest P-state)    = {:.1} W", c.cpu_l2.value());
+            let _ = writeln!(out, "  P_cpu,L3 (lightest T-state)  = {:.1} W", c.cpu_l3.value());
+            let _ = writeln!(out, "  P_cpu,L4 (hardware floor)    = {:.1} W", c.cpu_l4.value());
+            let _ = writeln!(out, "  P_mem,L1 (max demand)        = {:.1} W", c.mem_l1.value());
+            let _ = writeln!(out, "  P_mem,L2 (at P_cpu,L3)       = {:.1} W", c.mem_l2.value());
+            let _ = writeln!(out, "  P_mem,L3 (hardware floor)    = {:.1} W", c.mem_l3.value());
+            let _ = writeln!(out, "  productive threshold         = {:.1} W", c.productive_threshold().value());
+            let _ = writeln!(out, "  max useful budget            = {:.1} W", c.max_demand().value());
+        }
+        NodeSpec::Gpu(gpu) => {
+            let params = GpuCoordParams::profile(gpu, &b.demand)?;
+            let _ = writeln!(out, "Algorithm-2 parameters for {} on {}:", b.id, p.id);
+            let _ = writeln!(out, "  P_tot_max (uncapped demand)  = {:.1} W", params.p_tot_max.value());
+            let _ = writeln!(out, "  P_tot_ref (mem nominal, SM min) = {:.1} W", params.p_tot_ref.value());
+            let _ = writeln!(out, "  P_tot_min                    = {:.1} W", params.p_tot_min.value());
+            let _ = writeln!(out, "  P_mem,min / P_mem,max        = {:.1} / {:.1} W", params.p_mem_min.value(), params.p_mem_max.value());
+            let _ = writeln!(out, "  compute-intensive            = {}", params.is_compute_intensive(gpu));
+        }
+    }
+    Ok(out)
+}
+
+/// `pbc coord -p <platform> -w <bench> -b <watts>`
+pub fn cmd_coord(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let budget = Watts::new(budget);
+    let decision = match &p.spec {
+        NodeSpec::Cpu { cpu, dram } => {
+            let c = CriticalPowers::probe(cpu, dram, &b.demand);
+            coord_cpu(budget, &c)?
+        }
+        NodeSpec::Gpu(gpu) => {
+            let params = GpuCoordParams::profile(gpu, &b.demand)?;
+            coord_gpu(budget, gpu, &params)?
+        }
+    };
+    let op = solve(&p, &b.demand, decision.alloc)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "COORD decision for {} on {} at {budget}:", b.id, p.id);
+    let _ = writeln!(
+        out,
+        "  allocation: proc {:.1} W, mem {:.1} W",
+        decision.alloc.proc.value(),
+        decision.alloc.mem.value()
+    );
+    if let CoordStatus::Surplus(s) = decision.status {
+        let _ = writeln!(out, "  surplus to reclaim: {:.1} W", s.value());
+    }
+    let _ = writeln!(
+        out,
+        "  predicted: perf {:.3} of unconstrained, {} = {:.1} W actual draw",
+        op.perf_rel,
+        b.natural_rate(&op),
+        op.total_power().value()
+    );
+    Ok(out)
+}
+
+/// `pbc sweep -p <platform> -w <bench> -b <watts> [--save <path>]`
+pub fn cmd_sweep(
+    platform_slug: &str,
+    bench_slug: &str,
+    budget: f64,
+    save: Option<&str>,
+) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budget))?;
+    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>12} {:>12}",
+        "P_proc (W)", "P_mem (W)", "perf", "proc actual", "mem actual"
+    );
+    for pt in &profile.points {
+        let _ = writeln!(
+            out,
+            "{:>10.1} {:>10.1} {:>10.3} {:>12.1} {:>12.1}",
+            pt.alloc.proc.value(),
+            pt.alloc.mem.value(),
+            pt.op.perf_rel,
+            pt.op.proc_power.value(),
+            pt.op.mem_power.value()
+        );
+    }
+    if let (Some(best), Some(worst)) = (profile.best(), profile.worst()) {
+        let _ = writeln!(
+            out,
+            "best {} (perf {:.3}); worst {} (perf {:.3}); spread {:.1}x",
+            best.alloc,
+            best.op.perf_rel,
+            worst.alloc,
+            worst.op.perf_rel,
+            profile.spread()
+        );
+    }
+    if let Some(path) = save {
+        pbc_core::save_profile(&profile, std::path::Path::new(path))?;
+        let _ = writeln!(out, "profile saved to {path}");
+    }
+    Ok(out)
+}
+
+/// `pbc scenarios -p <platform> -w <bench> -b <watts>` (CPU platforms).
+pub fn cmd_scenarios(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let NodeSpec::Cpu { cpu, dram } = &p.spec else {
+        return Err(PbcError::InvalidInput(
+            "scenario categorization I-VI applies to CPU platforms (GPUs expose only I-III)"
+                .into(),
+        ));
+    };
+    let criticals = CriticalPowers::probe(cpu, dram, &b.demand);
+    let cost = b.demand.phases.first().map(|(_, ph)| ph.pattern_cost).unwrap_or(1.0);
+    let dram = dram.clone();
+    let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budget))?;
+    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} {:>10} {:>10}  scenario", "P_proc (W)", "P_mem (W)", "perf");
+    for pt in &profile.points {
+        let s = classify_cpu_point(&pt.op, &criticals, &dram, cost);
+        let _ = writeln!(
+            out,
+            "{:>10.1} {:>10.1} {:>10.3}  {}",
+            pt.alloc.proc.value(),
+            pt.alloc.mem.value(),
+            pt.op.perf_rel,
+            s
+        );
+    }
+    Ok(out)
+}
+
+/// `pbc online -p <platform> -w <bench> -b <watts>`
+pub fn cmd_online(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let budget = Watts::new(budget);
+    let mut coord =
+        OnlineCoordinator::new(budget, PowerAllocation::split(budget, 0.5), OnlineConfig::default());
+    let mut out = String::new();
+    while !coord.converged() && coord.epochs() < 200 {
+        let alloc = coord.next_allocation();
+        let op = solve(&p, &b.demand, alloc)?;
+        coord.observe(&op);
+        let _ = writeln!(
+            out,
+            "epoch {:>3}: tried ({:>5.1}, {:>5.1}) perf {:.3}",
+            coord.epochs(),
+            alloc.proc.value(),
+            alloc.mem.value(),
+            op.perf_rel
+        );
+    }
+    let final_op = solve(&p, &b.demand, coord.best())?;
+    let _ = writeln!(
+        out,
+        "converged in {} epochs at ({:.1}, {:.1}) with perf {:.3}",
+        coord.epochs(),
+        coord.best().proc.value(),
+        coord.best().mem.value(),
+        final_op.perf_rel
+    );
+    Ok(out)
+}
+
+/// `pbc hybrid --host <cpu-platform> --card <gpu-platform> --host-bench X --gpu-bench Y --gpu-share F -b WATTS`
+pub fn cmd_hybrid(
+    host_slug: &str,
+    card_slug: &str,
+    host_bench: &str,
+    gpu_bench: &str,
+    gpu_share: f64,
+    budget: f64,
+) -> Result<String> {
+    let host = platform(host_slug)?;
+    let card = platform(card_slug)?;
+    let (NodeSpec::Cpu { cpu, dram }, NodeSpec::Gpu(gpu)) = (&host.spec, &card.spec) else {
+        return Err(PbcError::InvalidInput(
+            "--host must be a CPU platform and --card a GPU platform".into(),
+        ));
+    };
+    let w = HybridWorkload {
+        host_demand: benchmark(host_bench)?.demand,
+        gpu_demand: benchmark(gpu_bench)?.demand,
+        gpu_share,
+        overlap: 0.0,
+    };
+    let pt = coordinate_hybrid(cpu, dram, gpu, &w, Watts::new(budget), Watts::new(10.0))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "hybrid coordination for {host_bench}+{gpu_bench} ({:.0}% device) at {budget} W:", gpu_share * 100.0);
+    let _ = writeln!(out, "  host budget {:.1} W -> alloc ({:.1}, {:.1})", pt.host_budget.value(), pt.host_alloc.proc.value(), pt.host_alloc.mem.value());
+    let _ = writeln!(out, "  card budget {:.1} W -> alloc ({:.1}, {:.1})", pt.gpu_budget.value(), pt.gpu_alloc.proc.value(), pt.gpu_alloc.mem.value());
+    let _ = writeln!(out, "  predicted perf {:.3}, mean node power {:.1} W", pt.perf_rel, pt.mean_power.value());
+    Ok(out)
+}
+
+/// `pbc corun -p <cpu-platform> -w <benchA,benchB> -b WATTS`
+pub fn cmd_corun(platform_slug: &str, pair: &str, budget: f64) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let NodeSpec::Cpu { cpu, dram } = &p.spec else {
+        return Err(PbcError::InvalidInput("corun targets CPU platforms".into()));
+    };
+    let Some((a, b)) = pair.split_once(',') else {
+        return Err(PbcError::InvalidInput(
+            "corun takes two comma-separated benchmarks, e.g. -w dgemm,stream".into(),
+        ));
+    };
+    let da = benchmark(a.trim())?.demand;
+    let db = benchmark(b.trim())?.demand;
+    let mem_cap = Watts::new((budget * 0.4).min(dram.max_power(2.0).value()));
+    let (core_split, caps, pt) =
+        coordinate_corun(cpu, dram, [&da, &db], Watts::new(budget), mem_cap)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "co-run coordination for {a}+{b} at {budget} W (mem cap {:.0} W):", mem_cap.value());
+    let _ = writeln!(out, "  core split: {:.0}% / {:.0}%", core_split * 100.0, (1.0 - core_split) * 100.0);
+    let _ = writeln!(out, "  package caps: {:.1} / {:.1} W", caps[0].value(), caps[1].value());
+    let _ = writeln!(out, "  per-job perf: {:.3} / {:.3} (contention {:.2})", pt.perf_rel[0], pt.perf_rel[1], pt.contention);
+    let _ = writeln!(out, "  aggregate throughput: {:.3}", pt.total_throughput());
+    Ok(out)
+}
+
+/// `pbc report -p <platform> -w <bench> -b <watts>` — a markdown
+/// coordination report for one workload.
+pub fn cmd_report(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budget))?;
+    let ladder: Vec<Watts> = [0.7, 0.85, 1.0, 1.15, 1.3]
+        .iter()
+        .map(|f| Watts::new(budget * f))
+        .collect();
+    workload_report(&problem, &ladder, DEFAULT_STEP)
+}
+
+/// `pbc rapl-status` — real hardware readout.
+pub fn cmd_rapl_status() -> String {
+    match pbc_rapl::RaplSysfs::discover() {
+        Ok(rapl) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "{:<14} {:<10} {:>14} {:>16}", "domain", "kind", "limit (W)", "energy (J)");
+            for d in &rapl.domains {
+                let limit = d
+                    .power_limit()
+                    .map(|w| format!("{:.1}", w.value()))
+                    .unwrap_or_else(|_| "?".into());
+                let energy = d
+                    .energy()
+                    .map(|e| format!("{:.1}", e.value()))
+                    .unwrap_or_else(|_| "?".into());
+                let _ = writeln!(out, "{:<14} {:<10?} {:>14} {:>16}", d.name, d.kind, limit, energy);
+            }
+            out
+        }
+        Err(e) => format!("RAPL unavailable on this machine: {e}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_and_benchmark_resolution() {
+        assert!(platform("ivybridge").is_ok());
+        assert!(platform("xp").is_ok());
+        assert!(platform("nope").is_err());
+        assert!(benchmark("sra").is_ok());
+        assert!(benchmark("nope").is_err());
+    }
+
+    #[test]
+    fn listing_commands_render() {
+        let p = cmd_platforms();
+        assert!(p.contains("ivybridge"));
+        assert!(p.contains("titan-v"));
+        let b = cmd_benchmarks();
+        assert!(b.contains("sgemm"));
+        assert_eq!(b.lines().count(), 18); // header + 17 benchmarks
+    }
+
+    #[test]
+    fn probe_renders_criticals() {
+        let out = cmd_probe("ivybridge", "sra").unwrap();
+        assert!(out.contains("P_cpu,L1"));
+        assert!(out.contains("productive threshold"));
+        let gout = cmd_probe("titan-xp", "sgemm").unwrap();
+        assert!(gout.contains("P_tot_max"));
+        assert!(gout.contains("compute-intensive            = true"));
+    }
+
+    #[test]
+    fn coord_renders_decision() {
+        let out = cmd_coord("ivybridge", "stream", 208.0).unwrap();
+        assert!(out.contains("allocation: proc"));
+        assert!(out.contains("perf"));
+        // A GPU target works too.
+        let gout = cmd_coord("titan-xp", "minife", 200.0).unwrap();
+        assert!(gout.contains("allocation: proc"));
+        // Tiny budgets produce the typed error.
+        assert!(matches!(
+            cmd_coord("ivybridge", "dgemm", 60.0),
+            Err(PbcError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_renders_and_saves() {
+        let path = std::env::temp_dir().join(format!("pbc-cli-sweep-{}.csv", std::process::id()));
+        let out = cmd_sweep("ivybridge", "sra", 240.0, Some(path.to_str().unwrap())).unwrap();
+        assert!(out.contains("spread"));
+        assert!(out.contains("profile saved"));
+        let loaded = pbc_core::load_profile(&path).unwrap();
+        assert!(!loaded.points.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn scenarios_renders_all_six() {
+        let out = cmd_scenarios("ivybridge", "sra", 240.0).unwrap();
+        for s in ["VI", "IV", "II", "III", "V"] {
+            assert!(out.lines().any(|l| l.trim().ends_with(s)), "missing {s}");
+        }
+        // GPU platforms are redirected.
+        assert!(cmd_scenarios("titan-xp", "sgemm", 200.0).is_err());
+    }
+
+    #[test]
+    fn online_converges_in_the_cli() {
+        let out = cmd_online("ivybridge", "stream", 208.0).unwrap();
+        assert!(out.contains("converged in"));
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let out = cmd_report("ivybridge", "mg", 208.0).unwrap();
+        assert!(out.starts_with("# Power coordination report"));
+        assert!(out.contains("## COORD decisions"));
+    }
+
+    #[test]
+    fn hybrid_renders() {
+        let out = cmd_hybrid("ivybridge", "titan-xp", "cg", "sgemm", 0.85, 480.0).unwrap();
+        assert!(out.contains("host budget"));
+        assert!(out.contains("card budget"));
+        // Wrong platform kinds are rejected.
+        assert!(cmd_hybrid("titan-xp", "ivybridge", "cg", "sgemm", 0.5, 480.0).is_err());
+    }
+
+    #[test]
+    fn corun_renders() {
+        let out = cmd_corun("ivybridge", "dgemm,stream", 240.0).unwrap();
+        assert!(out.contains("core split"));
+        assert!(out.contains("aggregate throughput"));
+        assert!(cmd_corun("ivybridge", "dgemm", 240.0).is_err());
+        assert!(cmd_corun("titan-xp", "dgemm,stream", 240.0).is_err());
+    }
+
+    #[test]
+    fn rapl_status_degrades_gracefully() {
+        // In this container there is no powercap; the command must still
+        // return a friendly message, not an error.
+        let out = cmd_rapl_status();
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Online dynamic power coordination — the paper's stated future work
+//! ("we will investigate how to adapt this algorithm to support online
+//! dynamic power budgeting and distribution").
+//!
+//! [`OnlineCoordinator`] needs **no offline profiling at all**. It starts
+//! from any feasible split and hill-climbs: each epoch it observes the
+//! node (performance surrogate plus per-component actual draws), tries a
+//! one-step power shift in the more promising direction, keeps it if the
+//! observed performance improved, and reverts otherwise. The §3.4
+//! structure guarantees this works: for a fixed budget, performance as a
+//! function of the split is unimodal (rising through scenario IV/II,
+//! peaking at the balance point, falling through III/V), so greedy local
+//! search converges to the global optimum without a model.
+//!
+//! The *direction* heuristic uses the same signal the paper's
+//! categorization exposes: a component drawing well under its cap has
+//! slack (scenario II's memory, scenario III's CPU) — shift watts away
+//! from the slack toward the constrained side first.
+
+use pbc_powersim::NodeOperatingPoint;
+use pbc_types::{PowerAllocation, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the online coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Watts moved per accepted step.
+    pub step: Watts,
+    /// Stop when `step` shrinks below this (after successive failures).
+    pub min_step: Watts,
+    /// Multiplicative step decay after a rejected probe in both
+    /// directions.
+    pub decay: f64,
+    /// Relative performance improvement required to accept a move (guards
+    /// against measurement noise in real deployments).
+    pub accept_margin: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            // The first probes must clear the throttle/duty quantization
+            // steps (a ~10 W-wide plateau in deep scenario IV), so the
+            // initial stride is wide; decay brings the endgame down to
+            // 1 W granularity.
+            step: Watts::new(16.0),
+            min_step: Watts::new(1.0),
+            decay: 0.5,
+            accept_margin: 0.002,
+        }
+    }
+}
+
+/// Where the search currently stands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Probe shifting toward the processor.
+    TryTowardProc,
+    /// Probe shifting toward memory.
+    TryTowardMem,
+    /// Both directions failed at the current step size: shrink.
+    Shrink,
+    /// Step size below minimum: hold the best-known split.
+    Converged,
+}
+
+/// A model-free, feedback-driven cross-component coordinator.
+///
+/// Drive it with [`OnlineCoordinator::next_allocation`] /
+/// [`OnlineCoordinator::observe`]: ask for the split to apply for the
+/// next epoch, run the epoch, report the observed operating point back.
+///
+/// ```
+/// use pbc_core::{OnlineConfig, OnlineCoordinator};
+/// use pbc_platform::presets::ivybridge;
+/// use pbc_powersim::solve;
+/// use pbc_types::{PowerAllocation, Watts};
+///
+/// let node = ivybridge();
+/// let stream = pbc_workloads::by_name("stream").unwrap();
+/// let budget = Watts::new(208.0);
+/// let mut tuner = OnlineCoordinator::new(
+///     budget,
+///     PowerAllocation::split(budget, 0.5),
+///     OnlineConfig::default(),
+/// );
+/// while !tuner.converged() && tuner.epochs() < 100 {
+///     let alloc = tuner.next_allocation();
+///     let op = solve(&node, &stream.demand, alloc).unwrap();
+///     tuner.observe(&op);
+/// }
+/// assert!(tuner.converged());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineCoordinator {
+    config: OnlineConfig,
+    budget: Watts,
+    best: PowerAllocation,
+    best_perf: f64,
+    pending: Option<PowerAllocation>,
+    phase: Phase,
+    step: Watts,
+    epochs: usize,
+}
+
+impl OnlineCoordinator {
+    /// Start a search at `initial` (any feasible split of `budget`; an
+    /// even split is a fine cold start).
+    pub fn new(budget: Watts, initial: PowerAllocation, config: OnlineConfig) -> Self {
+        Self {
+            config,
+            budget,
+            best: initial,
+            best_perf: f64::NEG_INFINITY,
+            pending: None,
+            phase: Phase::TryTowardProc,
+            step: config.step,
+            epochs: 0,
+        }
+    }
+
+    /// Has the search settled?
+    pub fn converged(&self) -> bool {
+        matches!(self.phase, Phase::Converged)
+    }
+
+    /// Epochs consumed so far.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Best split found so far.
+    pub fn best(&self) -> PowerAllocation {
+        self.best
+    }
+
+    /// The split to apply for the next epoch.
+    pub fn next_allocation(&mut self) -> PowerAllocation {
+        if self.best_perf == f64::NEG_INFINITY {
+            // First epoch: measure the starting point itself.
+            self.pending = Some(self.best);
+            return self.best;
+        }
+        let candidate = loop {
+            match self.phase {
+                Phase::TryTowardProc => {
+                    let c = self.best.shift_to_proc(self.step);
+                    if (c.proc - self.best.proc).abs().value() < 1e-9 {
+                        // Donor exhausted: skip to the other direction.
+                        self.phase = Phase::TryTowardMem;
+                        continue;
+                    }
+                    break c;
+                }
+                Phase::TryTowardMem => {
+                    let c = self.best.shift_to_proc(-self.step);
+                    if (c.mem - self.best.mem).abs().value() < 1e-9 {
+                        self.phase = Phase::Shrink;
+                        continue;
+                    }
+                    break c;
+                }
+                Phase::Shrink => {
+                    self.step = self.step * self.config.decay;
+                    if self.step < self.config.min_step {
+                        self.phase = Phase::Converged;
+                    } else {
+                        self.phase = Phase::TryTowardProc;
+                    }
+                    continue;
+                }
+                Phase::Converged => break self.best,
+            }
+        };
+        self.pending = Some(candidate);
+        candidate
+    }
+
+    /// Report the operating point observed while running the allocation
+    /// returned by the last [`Self::next_allocation`].
+    pub fn observe(&mut self, op: &NodeOperatingPoint) {
+        self.epochs += 1;
+        let Some(tried) = self.pending.take() else {
+            return;
+        };
+        let perf = op.perf_rel;
+        if self.best_perf == f64::NEG_INFINITY {
+            // Baseline measurement of the starting point.
+            self.best_perf = perf;
+            return;
+        }
+        let improved = perf > self.best_perf * (1.0 + self.config.accept_margin);
+        match self.phase {
+            Phase::TryTowardProc => {
+                if improved {
+                    self.best = tried;
+                    self.best_perf = perf;
+                    // Keep pushing the same direction.
+                } else {
+                    self.phase = Phase::TryTowardMem;
+                }
+            }
+            Phase::TryTowardMem => {
+                if improved {
+                    self.best = tried;
+                    self.best_perf = perf;
+                    // Keep pushing; stay in this phase.
+                } else {
+                    self.phase = Phase::Shrink;
+                }
+            }
+            Phase::Shrink | Phase::Converged => {}
+        }
+        debug_assert!(
+            self.best.total().value() <= self.budget.value() + 1e-6,
+            "online coordinator drifted over budget"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::oracle;
+    use crate::problem::PowerBoundedProblem;
+    use crate::sweep::DEFAULT_STEP;
+    use pbc_platform::presets::ivybridge;
+    use pbc_powersim::solve;
+    use pbc_workloads::by_name;
+    use pbc_types::Watts;
+
+    /// Run the coordinator against the simulated node until convergence.
+    fn run_online(bench: &str, budget: f64, start_frac: f64) -> (PowerAllocation, f64, usize) {
+        let platform = ivybridge();
+        let demand = by_name(bench).unwrap().demand;
+        let budget_w = Watts::new(budget);
+        let mut coord = OnlineCoordinator::new(
+            budget_w,
+            PowerAllocation::split(budget_w, start_frac),
+            OnlineConfig::default(),
+        );
+        for _ in 0..200 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+        }
+        let best = coord.best();
+        let perf = solve(&platform, &demand, best).unwrap().perf_rel;
+        (best, perf, coord.epochs())
+    }
+
+    #[test]
+    fn converges_near_the_oracle_from_cold_start() {
+        for bench in ["sra", "stream", "dgemm", "mg"] {
+            let (alloc, perf, epochs) = run_online(bench, 208.0, 0.5);
+            let problem = PowerBoundedProblem::new(
+                ivybridge(),
+                by_name(bench).unwrap().demand,
+                Watts::new(208.0),
+            )
+            .unwrap();
+            let best = oracle(&problem, DEFAULT_STEP).unwrap();
+            assert!(
+                perf >= 0.95 * best.op.perf_rel,
+                "{bench}: online {perf} at {alloc} vs oracle {}",
+                best.op.perf_rel
+            );
+            assert!(epochs < 120, "{bench}: {epochs} epochs");
+        }
+    }
+
+    #[test]
+    fn converges_from_terrible_starts() {
+        // Start deep in scenario III (memory starved) and scenario
+        // IV (processor starved): the climb must escape both.
+        for start in [0.2, 0.8] {
+            let (_, perf, _) = run_online("stream", 208.0, start);
+            assert!(perf > 0.85, "start {start}: perf {perf}");
+        }
+    }
+
+    #[test]
+    fn never_exceeds_the_budget() {
+        let platform = ivybridge();
+        let demand = by_name("cg").unwrap().demand;
+        let budget = Watts::new(190.0);
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        );
+        for _ in 0..100 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            assert!(alloc.total().value() <= budget.value() + 1e-9);
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+        }
+    }
+
+    #[test]
+    fn converged_coordinator_repeats_its_best() {
+        let platform = ivybridge();
+        let demand = by_name("sra").unwrap().demand;
+        let budget = Watts::new(200.0);
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        );
+        for _ in 0..200 {
+            let alloc = coord.next_allocation();
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+            if coord.converged() {
+                break;
+            }
+        }
+        assert!(coord.converged());
+        let a = coord.next_allocation();
+        let b = coord.next_allocation();
+        assert_eq!(a, coord.best());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_beats_its_own_cold_start() {
+        let platform = ivybridge();
+        let demand = by_name("dgemm").unwrap().demand;
+        let budget = Watts::new(208.0);
+        let start = PowerAllocation::split(budget, 0.4);
+        let start_perf = solve(&platform, &demand, start).unwrap().perf_rel;
+        let mut coord = OnlineCoordinator::new(budget, start, OnlineConfig::default());
+        for _ in 0..200 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+        }
+        let end_perf = solve(&platform, &demand, coord.best()).unwrap().perf_rel;
+        assert!(
+            end_perf > 1.3 * start_perf,
+            "DGEMM at a 40/60 split must improve a lot: {start_perf} -> {end_perf}"
+        );
+    }
+}

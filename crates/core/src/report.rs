@@ -1,0 +1,160 @@
+//! Human-readable coordination reports.
+//!
+//! [`workload_report`] turns one workload's profiling artifacts — critical
+//! powers, a sweep profile, scenario spans, COORD decisions across a
+//! budget ladder — into a self-contained markdown document: what an
+//! operator would attach to a ticket or commit next to a job script.
+
+use crate::analysis::critical_component;
+use crate::coord::{coord_cpu, CoordStatus};
+use crate::critical::CriticalPowers;
+use crate::efficiency::AcceptableRange;
+use crate::problem::PowerBoundedProblem;
+use crate::scenario::cpu_scenario_spans;
+use crate::sweep::sweep_budget;
+use pbc_types::{Result, Watts};
+use std::fmt::Write as _;
+
+/// Build the report for a CPU-platform problem instance. `budgets` is the
+/// ladder of candidate budgets the operator is considering.
+pub fn workload_report(
+    problem: &PowerBoundedProblem,
+    budgets: &[Watts],
+    step: Watts,
+) -> Result<String> {
+    let cpu = problem.platform.cpu().ok_or_else(|| {
+        pbc_types::PbcError::InvalidInput("workload_report targets CPU platforms".into())
+    })?;
+    let dram = problem.platform.dram().expect("CPU platform has DRAM");
+    let criticals = CriticalPowers::probe(cpu, dram, &problem.workload);
+    let band = AcceptableRange::from_criticals(&criticals);
+    let cost = problem
+        .workload
+        .phases
+        .first()
+        .map(|(_, p)| p.pattern_cost)
+        .unwrap_or(1.0);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Power coordination report: {} on {}\n",
+        problem.workload.name, problem.platform.id
+    );
+
+    let _ = writeln!(out, "## Critical power values (lightweight profiling)\n");
+    let _ = writeln!(out, "| value | watts | meaning |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (name, w, meaning) in [
+        ("P_cpu,L1", criticals.cpu_l1, "maximum processor demand"),
+        ("P_cpu,L2", criticals.cpu_l2, "lowest P-state power"),
+        ("P_cpu,L3", criticals.cpu_l3, "lightest T-state power"),
+        ("P_cpu,L4", criticals.cpu_l4, "hardware floor"),
+        ("P_mem,L1", criticals.mem_l1, "maximum memory demand (+margin)"),
+        ("P_mem,L2", criticals.mem_l2, "memory power at P_cpu,L3"),
+        ("P_mem,L3", criticals.mem_l3, "memory hardware floor"),
+    ] {
+        let _ = writeln!(out, "| {name} | {:.1} | {meaning} |", w.value());
+    }
+    let _ = writeln!(
+        out,
+        "\nAcceptable budget band: **{:.1} – {:.1} W** (below: reject; above: reclaim the surplus).\n",
+        band.min.value(),
+        band.max.value()
+    );
+
+    let _ = writeln!(out, "## Scenario structure at {}\n", problem.budget);
+    let profile = sweep_budget(problem, step)?;
+    let spans = cpu_scenario_spans(&profile, &criticals, dram, cost);
+    let _ = writeln!(out, "| scenario | P_cpu from (W) | P_cpu to (W) |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (s, lo, hi) in &spans {
+        let _ = writeln!(out, "| {s} | {:.1} | {:.1} |", lo.value(), hi.value());
+    }
+    if let Some(best) = profile.best() {
+        let _ = writeln!(
+            out,
+            "\nSweep optimum: **{}** (perf {:.3}; best-to-worst spread {:.1}x).",
+            best.alloc,
+            best.op.perf_rel,
+            profile.spread()
+        );
+    }
+    if let Some(critical) = critical_component(problem, step, Watts::new(16.0))? {
+        let _ = writeln!(
+            out,
+            "Critical component at this budget: **{critical}** — protect its share first.\n"
+        );
+    } else {
+        let _ = writeln!(out, "No critical component at this budget (scenario I).\n");
+    }
+
+    let _ = writeln!(out, "## COORD decisions across the budget ladder\n");
+    let _ = writeln!(out, "| budget (W) | allocation (proc, mem) | note |");
+    let _ = writeln!(out, "|---|---|---|");
+    for &b in budgets {
+        match coord_cpu(b, &criticals) {
+            Ok(d) => {
+                let note = match d.status {
+                    CoordStatus::Success => "ok".to_string(),
+                    CoordStatus::Surplus(s) => format!("reclaim {:.1} W", s.value()),
+                };
+                let _ = writeln!(
+                    out,
+                    "| {:.0} | ({:.1}, {:.1}) | {note} |",
+                    b.value(),
+                    d.alloc.proc.value(),
+                    d.alloc.mem.value()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "| {:.0} | — | {e} |", b.value());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_platform::presets::ivybridge;
+    use pbc_workloads::by_name;
+
+    #[test]
+    fn report_contains_every_section() {
+        let problem = PowerBoundedProblem::new(
+            ivybridge(),
+            by_name("sra").unwrap().demand,
+            Watts::new(240.0),
+        )
+        .unwrap();
+        let ladder: Vec<Watts> = [150.0, 190.0, 230.0, 270.0].map(Watts::new).to_vec();
+        let report = workload_report(&problem, &ladder, crate::sweep::DEFAULT_STEP).unwrap();
+        for needle in [
+            "# Power coordination report: SRA on ivybridge",
+            "## Critical power values",
+            "P_cpu,L1",
+            "Acceptable budget band",
+            "## Scenario structure",
+            "Sweep optimum",
+            "## COORD decisions",
+            "reclaim",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?}\n{report}");
+        }
+        // The too-small budget row shows the typed rejection message.
+        assert!(report.contains("power budget too small"));
+    }
+
+    #[test]
+    fn report_rejects_gpu_platforms() {
+        let problem = PowerBoundedProblem::new(
+            pbc_platform::presets::titan_xp(),
+            by_name("sgemm").unwrap().demand,
+            Watts::new(200.0),
+        )
+        .unwrap();
+        assert!(workload_report(&problem, &[], crate::sweep::DEFAULT_STEP).is_err());
+    }
+}

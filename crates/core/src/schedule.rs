@@ -1,0 +1,262 @@
+//! Higher-level power-bounded scheduling on top of node-level
+//! coordination.
+//!
+//! The paper's conclusion: "node-level power coordination is key to higher
+//! level power-bounded scheduling by requesting and enforcing an
+//! appropriate power budget and returning the excessive budget to an upper
+//! level scheduler." This module is that upper level for a homogeneous
+//! partition: a [`PowerPool`] tracks the global bound; [`schedule_jobs`]
+//! walks a job queue, asks COORD what each job can productively use,
+//! caps offers at each job's maximum demand, refuses jobs below their
+//! productive threshold, and returns surplus watts to the pool.
+
+use crate::coord::coord_cpu;
+use crate::critical::CriticalPowers;
+use pbc_platform::Platform;
+use pbc_powersim::{solve, WorkloadDemand};
+use pbc_types::{PbcError, PowerAllocation, Result, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A global power budget being handed out and reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerPool {
+    bound: Watts,
+    committed: Watts,
+}
+
+impl PowerPool {
+    /// A pool with the given global bound.
+    pub fn new(bound: Watts) -> Self {
+        Self {
+            bound,
+            committed: Watts::ZERO,
+        }
+    }
+
+    /// Watts still available.
+    pub fn available(&self) -> Watts {
+        (self.bound - self.committed).max(Watts::ZERO)
+    }
+
+    /// Watts currently committed to running jobs.
+    pub fn committed(&self) -> Watts {
+        self.committed
+    }
+
+    /// Reserve watts; errors if the pool cannot cover them.
+    pub fn reserve(&mut self, watts: Watts) -> Result<()> {
+        if watts > self.available() + Watts::new(1e-9) {
+            return Err(PbcError::BudgetExceeded {
+                allocated: self.committed + watts,
+                bound: self.bound,
+            });
+        }
+        self.committed += watts;
+        Ok(())
+    }
+
+    /// Return watts to the pool (job completion or surplus reclaim).
+    pub fn release(&mut self, watts: Watts) {
+        self.committed = (self.committed - watts).max(Watts::ZERO);
+    }
+}
+
+/// A job waiting to be scheduled.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name.
+    pub name: String,
+    /// Its workload model (from the catalog or from profiling).
+    pub demand: WorkloadDemand,
+}
+
+/// The outcome for one job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Placed with this allocation and predicted performance.
+    Placed {
+        /// The coordinated allocation.
+        alloc: PowerAllocation,
+        /// Predicted relative performance under it.
+        perf_rel: f64,
+        /// Watts offered but handed back (surplus over max demand).
+        reclaimed: Watts,
+    },
+    /// Refused: the offer was below the job's productive threshold.
+    Refused {
+        /// The minimum the job needs to run productively.
+        minimum: Watts,
+    },
+}
+
+/// One row of the schedule report.
+#[derive(Debug, Clone)]
+pub struct ScheduledJob {
+    /// The job.
+    pub name: String,
+    /// What happened to it.
+    pub outcome: JobOutcome,
+}
+
+/// Schedule `jobs` on identical `platform` nodes (one node per job) from
+/// a shared [`PowerPool`]. `fair_share` is the per-node offer; jobs that
+/// cannot use all of it get less, with the rest left in the pool for
+/// later arrivals.
+///
+/// Returns the per-job outcomes. The pool is mutated in place: committed
+/// watts reflect exactly the sum of placed allocations.
+pub fn schedule_jobs(
+    platform: &Platform,
+    jobs: &[Job],
+    fair_share: Watts,
+    pool: &mut PowerPool,
+) -> Result<Vec<ScheduledJob>> {
+    let cpu = platform
+        .cpu()
+        .ok_or_else(|| PbcError::InvalidInput("schedule_jobs targets host platforms".into()))?;
+    let dram = platform
+        .dram()
+        .expect("host platform always has a DRAM spec");
+    let mut out = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let criticals = CriticalPowers::probe(cpu, dram, &job.demand);
+        // Offer the fair share (bounded by the pool); COORD is asked for
+        // at most the job's maximum demand, and whatever of the offer goes
+        // unallocated is the reclaim the paper's conclusion talks about.
+        let offered = fair_share.min(pool.available());
+        let ask = offered.min(criticals.max_demand());
+        let outcome = match coord_cpu(ask, &criticals) {
+            Ok(decision) => {
+                pool.reserve(decision.alloc.total())?;
+                let op = solve(platform, &job.demand, decision.alloc)?;
+                JobOutcome::Placed {
+                    alloc: decision.alloc,
+                    perf_rel: op.perf_rel,
+                    reclaimed: offered - decision.alloc.total(),
+                }
+            }
+            Err(PbcError::BudgetTooSmall { minimum, .. }) => JobOutcome::Refused { minimum },
+            Err(e) => return Err(e),
+        };
+        out.push(ScheduledJob {
+            name: job.name.clone(),
+            outcome,
+        });
+    }
+    Ok(out)
+}
+
+/// Aggregate relative throughput of a schedule (sum of placed perf).
+pub fn aggregate_throughput(schedule: &[ScheduledJob]) -> f64 {
+    schedule
+        .iter()
+        .filter_map(|s| match &s.outcome {
+            JobOutcome::Placed { perf_rel, .. } => Some(*perf_rel),
+            JobOutcome::Refused { .. } => None,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_platform::presets::ivybridge;
+    use pbc_workloads::by_name;
+
+    fn jobs(names: &[&str]) -> Vec<Job> {
+        names
+            .iter()
+            .map(|n| Job {
+                name: n.to_string(),
+                demand: by_name(n).unwrap().demand,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_accounting() {
+        let mut pool = PowerPool::new(Watts::new(500.0));
+        assert_eq!(pool.available().value(), 500.0);
+        pool.reserve(Watts::new(200.0)).unwrap();
+        assert_eq!(pool.available().value(), 300.0);
+        assert!(pool.reserve(Watts::new(400.0)).is_err());
+        pool.release(Watts::new(50.0));
+        assert_eq!(pool.committed().value(), 150.0);
+    }
+
+    #[test]
+    fn schedule_places_jobs_within_the_bound() {
+        let platform = ivybridge();
+        let mut pool = PowerPool::new(Watts::new(800.0));
+        let queue = jobs(&["dgemm", "stream", "sra", "mg"]);
+        let schedule =
+            schedule_jobs(&platform, &queue, Watts::new(200.0), &mut pool).unwrap();
+        assert_eq!(schedule.len(), 4);
+        let mut committed = 0.0;
+        for s in &schedule {
+            match &s.outcome {
+                JobOutcome::Placed { alloc, perf_rel, .. } => {
+                    assert!(alloc.total().value() <= 200.0 + 1e-9);
+                    assert!(*perf_rel > 0.5, "{}: {}", s.name, perf_rel);
+                    committed += alloc.total().value();
+                }
+                JobOutcome::Refused { .. } => panic!("200 W must be schedulable"),
+            }
+        }
+        assert!((pool.committed().value() - committed).abs() < 1e-6);
+        assert!(pool.committed() <= Watts::new(800.0));
+    }
+
+    #[test]
+    fn surplus_stays_in_the_pool() {
+        // STREAM's max demand is ~220 W; offering 280 must leave the
+        // excess uncommitted.
+        let platform = ivybridge();
+        let mut pool = PowerPool::new(Watts::new(280.0));
+        let schedule =
+            schedule_jobs(&platform, &jobs(&["stream"]), Watts::new(280.0), &mut pool)
+                .unwrap();
+        match &schedule[0].outcome {
+            JobOutcome::Placed { reclaimed, .. } => {
+                assert!(reclaimed.value() > 20.0, "reclaimed {reclaimed}");
+                assert!(pool.available().value() > 20.0);
+            }
+            _ => panic!("must place"),
+        }
+    }
+
+    #[test]
+    fn starved_pool_refuses_late_jobs() {
+        let platform = ivybridge();
+        let mut pool = PowerPool::new(Watts::new(260.0));
+        // First job takes ~220; the second is offered the ~40 left and
+        // must be refused (below any productive threshold).
+        let schedule = schedule_jobs(
+            &platform,
+            &jobs(&["dgemm", "stream"]),
+            Watts::new(260.0),
+            &mut pool,
+        )
+        .unwrap();
+        assert!(matches!(schedule[0].outcome, JobOutcome::Placed { .. }));
+        match &schedule[1].outcome {
+            JobOutcome::Refused { minimum } => assert!(minimum.value() > 40.0),
+            _ => panic!("second job must be refused"),
+        }
+        // Aggregate throughput only counts the placed job.
+        assert!(aggregate_throughput(&schedule) < 1.1);
+    }
+
+    #[test]
+    fn rejects_gpu_platforms() {
+        let mut pool = PowerPool::new(Watts::new(300.0));
+        let err = schedule_jobs(
+            &pbc_platform::presets::titan_xp(),
+            &jobs(&["stream"]),
+            Watts::new(200.0),
+            &mut pool,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PbcError::InvalidInput(_)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Extension 3 — hybrid CPU+GPU node coordination (the §2.2 "hybrid
+//! computing" future work).
+//!
+//! An offload application (host glue + device kernels) on an IvyBridge
+//! host with a Titan XP: sweep the node budget and compare the
+//! coordinated host/card split against the even split, for a GPU-heavy
+//! and a balanced composition.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{
+    coordinate_hybrid, solve_hybrid_split, CriticalPowers, GpuCoordParams, HybridWorkload,
+};
+use pbc_platform::presets::{ivybridge, titan_xp};
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+/// Run the extension-3 evaluation.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ext3",
+        "Hybrid host+card coordination vs even split — IvyBridge + Titan XP",
+    );
+    let host = ivybridge();
+    let card = titan_xp();
+    let cpu = host.cpu().unwrap();
+    let dram = host.dram().unwrap();
+    let gpu = card.gpu().unwrap();
+
+    for (label, gpu_share, gpu_bench) in [
+        ("GPU-heavy (85% device, SGEMM kernels)", 0.85, "sgemm"),
+        ("balanced (50% device, MiniFE kernels)", 0.50, "minife"),
+    ] {
+        let w = HybridWorkload {
+            host_demand: by_name("cg").unwrap().demand,
+            gpu_demand: by_name(gpu_bench).unwrap().demand,
+            gpu_share,
+            overlap: 0.0,
+        };
+        let host_criticals = CriticalPowers::probe(cpu, dram, &w.host_demand);
+        let gpu_params = GpuCoordParams::profile(gpu, &w.gpu_demand)?;
+
+        let mut t = TextTable::new(
+            format!("{label}: node budget sweep"),
+            &[
+                "node budget (W)",
+                "even-split perf",
+                "coordinated perf",
+                "gain (%)",
+                "coordinated host/card (W)",
+            ],
+        );
+        for budget in [360.0, 420.0, 480.0, 540.0] {
+            let b = Watts::new(budget);
+            let even = solve_hybrid_split(
+                cpu,
+                dram,
+                gpu,
+                &w,
+                b / 2.0,
+                b / 2.0,
+                &host_criticals,
+                &gpu_params,
+            )?;
+            let coord = coordinate_hybrid(cpu, dram, gpu, &w, b, Watts::new(10.0))?;
+            let even_perf = even.map(|e| e.perf_rel).unwrap_or(0.0);
+            t.push(vec![
+                fmt(budget),
+                fmt(even_perf),
+                fmt(coord.perf_rel),
+                fmt(if even_perf > 0.0 {
+                    (coord.perf_rel / even_perf - 1.0) * 100.0
+                } else {
+                    f64::NAN
+                }),
+                format!(
+                    "{:.0} / {:.0}",
+                    coord.host_budget.value(),
+                    coord.gpu_budget.value()
+                ),
+            ]);
+        }
+        out.tables.push(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_coordination_always_at_least_matches_even_split() {
+        let out = run().unwrap();
+        for t in &out.tables {
+            for r in &t.rows {
+                let even: f64 = r[1].parse().unwrap();
+                let coord: f64 = r[2].parse().unwrap();
+                assert!(coord >= even - 1e-9, "{}: {r:?}", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_heavy_gains_most_at_tight_budgets() {
+        let out = run().unwrap();
+        let t = &out.tables[0]; // GPU-heavy table
+        let tight_gain: f64 = t.rows[0][3].parse().unwrap();
+        let loose_gain: f64 = t.rows[3][3].parse().unwrap();
+        assert!(
+            tight_gain >= loose_gain - 1.0,
+            "gain at 360 W ({tight_gain}%) vs 540 W ({loose_gain}%)"
+        );
+        assert!(tight_gain > 3.0, "tight-budget gain {tight_gain}%");
+    }
+}

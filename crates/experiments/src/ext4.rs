@@ -1,0 +1,94 @@
+//! Extension 4 — co-running jobs on one power-bounded node (the paper's
+//! "multi-task computing environments" future work).
+//!
+//! Pairs from the suite co-run on a dual-socket IvyBridge under a node
+//! budget: bandwidth contention per pairing, and what coordinated
+//! core/power splits buy over the naive even co-run.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_powersim::{coordinate_corun, solve_corun};
+use pbc_platform::presets::ivybridge;
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+const PAIRS: [(&str, &str); 4] = [
+    ("dgemm", "stream"),
+    ("dgemm", "dgemm"),
+    ("stream", "stream"),
+    ("dgemm", "sra"),
+];
+
+/// Run the extension-4 evaluation.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ext4",
+        "Co-run coordination on one node — IvyBridge, node budget 240 W (mem cap 100 W)",
+    );
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    let node_budget = Watts::new(240.0);
+    let mem_cap = Watts::new(100.0);
+
+    let mut t = TextTable::new(
+        "Job pairings: naive even co-run vs coordinated",
+        &[
+            "pair",
+            "contention",
+            "even throughput",
+            "coordinated throughput",
+            "gain (%)",
+            "core split",
+            "caps (W)",
+        ],
+    );
+    for (a, b) in PAIRS {
+        let da = by_name(a).unwrap().demand;
+        let db = by_name(b).unwrap().demand;
+        let proc_budget = node_budget - mem_cap;
+        let naive = solve_corun(
+            cpu,
+            dram,
+            [&da, &db],
+            0.5,
+            [proc_budget / 2.0, proc_budget / 2.0],
+            mem_cap,
+        )?;
+        let (core_split, caps, best) =
+            coordinate_corun(cpu, dram, [&da, &db], node_budget, mem_cap)?;
+        t.push(vec![
+            format!("{a}+{b}"),
+            fmt(best.contention),
+            fmt(naive.total_throughput()),
+            fmt(best.total_throughput()),
+            fmt((best.total_throughput() / naive.total_throughput() - 1.0) * 100.0),
+            fmt(core_split),
+            format!("{:.0}/{:.0}", caps[0].value(), caps[1].value()),
+        ]);
+    }
+    out.tables.push(t);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corun_experiment_shape() {
+        let out = run().unwrap();
+        let t = &out.tables[0];
+        assert_eq!(t.rows.len(), 4);
+        let row = |pair: &str| t.rows.iter().find(|r| r[0] == pair).unwrap();
+        // Two STREAMs contend hard; DGEMM+STREAM barely.
+        let ss: f64 = row("stream+stream")[1].parse().unwrap();
+        let ds: f64 = row("dgemm+stream")[1].parse().unwrap();
+        assert!(ss < 0.8, "stream+stream contention {ss}");
+        assert!(ds > 0.85, "dgemm+stream contention {ds}");
+        // Coordination never loses to the naive split.
+        for r in &t.rows {
+            let gain: f64 = r[4].parse().unwrap();
+            assert!(gain >= -0.5, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Extension 5 — research question 4 quantified: acceptable budget ranges
+//! and power efficiency.
+//!
+//! §2.1's fourth question asks what budgets are acceptable "regarding
+//! achievable performance and power efficiency". The paper answers
+//! qualitatively (§3.1's scheduling insights); this experiment puts
+//! numbers on it: the efficiency curve of the best allocation at every
+//! budget, the acceptable band derived from the critical values, and the
+//! perf-per-watt sweet spot a throughput scheduler would target.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{
+    efficiency::{efficiency_curve, most_efficient_budget, AcceptableRange},
+    CriticalPowers, PowerBoundedProblem, DEFAULT_STEP,
+};
+use pbc_platform::presets::ivybridge;
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+/// Run the extension-5 evaluation.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ext5",
+        "RQ4: acceptable budget bands and power efficiency (IvyBridge)",
+    );
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+
+    let mut bands = TextTable::new(
+        "Acceptable budget bands per workload (from critical powers)",
+        &[
+            "benchmark",
+            "min productive (W)",
+            "max useful (W)",
+            "band width (W)",
+            "sweet spot (W)",
+            "sweet perf/W (rel/W)",
+        ],
+    );
+    let mut curves = TextTable::new(
+        "Efficiency curves (CSV)",
+        &["benchmark", "P_b (W)", "perf_max", "actual (W)", "perf/W", "stranded (W)"],
+    );
+    for bench_name in ["sra", "stream", "dgemm", "mg", "ep"] {
+        let bench = by_name(bench_name).unwrap();
+        let criticals = CriticalPowers::probe(cpu, dram, &bench.demand);
+        let band = AcceptableRange::from_criticals(&criticals);
+        let tmpl = PowerBoundedProblem::new(
+            platform.clone(),
+            bench.demand.clone(),
+            Watts::new(208.0),
+        )?;
+        let budgets: Vec<Watts> = (10..33).map(|i| Watts::new(i as f64 * 10.0)).collect();
+        let curve = efficiency_curve(&tmpl, budgets, DEFAULT_STEP)?;
+        for p in &curve {
+            curves.push(vec![
+                bench_name.into(),
+                fmt(p.budget.value()),
+                fmt(p.perf_max),
+                fmt(p.actual_power.value()),
+                fmt(p.perf_per_watt * 1000.0), // milli-rel per watt for readability
+                fmt(p.stranded_power.value()),
+            ]);
+        }
+        let sweet = most_efficient_budget(&curve).expect("non-empty curve");
+        bands.push(vec![
+            bench_name.into(),
+            fmt(band.min.value()),
+            fmt(band.max.value()),
+            fmt(band.span().value()),
+            fmt(sweet.budget.value()),
+            fmt(sweet.perf_per_watt * 1000.0),
+        ]);
+    }
+    out.tables.push(bands);
+    out.tables.push(curves);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweet_spots_sit_inside_the_bands() {
+        let out = run().unwrap();
+        let bands = &out.tables[0];
+        for r in &bands.rows {
+            let min: f64 = r[1].parse().unwrap();
+            let max: f64 = r[2].parse().unwrap();
+            let sweet: f64 = r[4].parse().unwrap();
+            assert!(min < max, "{r:?}");
+            // The sweet spot lies within the band, give or take the
+            // 10 W budget grid plus sweep-step noise around the max.
+            assert!(
+                sweet >= min - 10.0 && sweet <= max + 16.0,
+                "sweet spot outside the band: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_bound_workloads_have_wider_bands() {
+        let out = run().unwrap();
+        let bands = &out.tables[0];
+        let width = |b: &str| -> f64 {
+            bands.rows.iter().find(|r| r[0] == b).unwrap()[3].parse().unwrap()
+        };
+        // DGEMM's demand dynamic range dwarfs STREAM's.
+        assert!(width("dgemm") > width("stream"));
+    }
+}

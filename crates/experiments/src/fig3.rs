@@ -1,0 +1,159 @@
+//! Figure 3 — the six power-allocation scenario categories.
+//!
+//! RandomAccess on the IvyBridge node at `P_b` = 240 W: application
+//! performance and actual component powers across the allocation sweep,
+//! with every point labelled with its scenario, plus the contiguous
+//! scenario spans (the paper's annotated regions).
+
+use crate::output::{ascii_chart, fmt, ExperimentOutput, TextTable};
+use pbc_core::{
+    classify_cpu_point, cpu_scenario_spans, sweep_budget, CriticalPowers, PowerBoundedProblem,
+    DEFAULT_STEP,
+};
+use pbc_platform::presets::ivybridge;
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+/// Run the Fig. 3 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig3",
+        "Six scenario categories: SRA on IvyBridge at P_b = 240 W (perf + actual power)",
+    );
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap().clone();
+    let dram = platform.dram().unwrap().clone();
+    let sra = by_name("sra").unwrap();
+    let cost = sra.demand.phases[0].1.pattern_cost;
+    let criticals = CriticalPowers::probe(&cpu, &dram, &sra.demand);
+
+    let problem = PowerBoundedProblem::new(platform, sra.demand.clone(), Watts::new(240.0))?;
+    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+
+    let mut t = TextTable::new(
+        "SRA at 240 W: performance and actual powers per allocation",
+        &[
+            "P_cpu (W)",
+            "P_mem (W)",
+            "GUP/s",
+            "perf (rel)",
+            "CPU actual (W)",
+            "DRAM actual (W)",
+            "total actual (W)",
+            "scenario",
+        ],
+    );
+    for pt in &profile.points {
+        let s = classify_cpu_point(&pt.op, &criticals, &dram, cost);
+        t.push(vec![
+            fmt(pt.alloc.proc.value()),
+            fmt(pt.alloc.mem.value()),
+            fmt(sra.natural_rate(&pt.op).rate),
+            fmt(pt.op.perf_rel),
+            fmt(pt.op.proc_power.value()),
+            fmt(pt.op.mem_power.value()),
+            fmt(pt.op.total_power().value()),
+            s.to_string(),
+        ]);
+    }
+    out.tables.push(t);
+
+    let mut chart = TextTable::new(
+        "Shape check: perf vs P_mem (compare with the paper's Fig. 3a)",
+        &["chart"],
+    );
+    let pts: Vec<(f64, f64)> = profile
+        .points
+        .iter()
+        .map(|pt| (pt.alloc.mem.value(), pt.op.perf_rel))
+        .collect();
+    chart.push(vec![ascii_chart(&pts, 56, 12)]);
+    out.tables.push(chart);
+
+    let spans = cpu_scenario_spans(&profile, &criticals, &dram, cost);
+    let mut t = TextTable::new(
+        "Scenario spans along the P_cpu axis (paper: VI | IV | II | I | III | V)",
+        &["scenario", "P_cpu from (W)", "P_cpu to (W)", "P_mem from (W)", "P_mem to (W)"],
+    );
+    for (s, lo, hi) in &spans {
+        t.push(vec![
+            s.to_string(),
+            fmt(lo.value()),
+            fmt(hi.value()),
+            fmt(240.0 - hi.value()),
+            fmt(240.0 - lo.value()),
+        ]);
+    }
+    out.tables.push(t);
+
+    let mut t = TextTable::new(
+        "Critical power values (lightweight profiling)",
+        &["P_cpu_L1", "P_cpu_L2", "P_cpu_L3", "P_cpu_L4", "P_mem_L1", "P_mem_L2", "P_mem_L3"],
+    );
+    t.push(vec![
+        fmt(criticals.cpu_l1.value()),
+        fmt(criticals.cpu_l2.value()),
+        fmt(criticals.cpu_l3.value()),
+        fmt(criticals.cpu_l4.value()),
+        fmt(criticals.mem_l1.value()),
+        fmt(criticals.mem_l2.value()),
+        fmt(criticals.mem_l3.value()),
+    ]);
+    out.tables.push(t);
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_six_spans_in_paper_order() {
+        let out = run().unwrap();
+        let spans = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("Scenario spans"))
+            .unwrap();
+        let order: Vec<&str> = spans.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(order, vec!["VI", "IV", "II", "I", "III", "V"], "{order:?}");
+    }
+
+    #[test]
+    fn fig3_scenario_i_powers_are_the_paper_anchors() {
+        // In scenario I the actual draws are constant near 112 W CPU and
+        // 116 W DRAM.
+        let out = run().unwrap();
+        let data = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("performance and actual powers"))
+            .unwrap();
+        let ones: Vec<&Vec<String>> =
+            data.rows.iter().filter(|r| r[7] == "I").collect();
+        assert!(!ones.is_empty());
+        for r in ones {
+            let cpu: f64 = r[4].parse().unwrap();
+            let mem: f64 = r[5].parse().unwrap();
+            assert!((cpu - 112.0).abs() < 8.0, "CPU actual {cpu}");
+            assert!((mem - 116.0).abs() < 8.0, "DRAM actual {mem}");
+        }
+    }
+
+    #[test]
+    fn fig3_total_actual_respects_budget_except_vi() {
+        let out = run().unwrap();
+        let data = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("performance and actual powers"))
+            .unwrap();
+        for r in &data.rows {
+            let total: f64 = r[6].parse().unwrap();
+            if r[7] != "VI" {
+                assert!(total <= 240.0 + 1e-6, "{r:?}");
+            }
+        }
+    }
+}

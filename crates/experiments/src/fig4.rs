@@ -1,0 +1,111 @@
+//! Figure 4 — category patterns across total budgets.
+//!
+//! Star RandomAccess and EP-DGEMM on the IvyBridge node at several total
+//! budgets. What to look for: the general pattern repeats at every budget,
+//! but the number of categories and their spans shrink as the budget
+//! drops (scenario I disappears first).
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{
+    cpu_scenario_spans, sweep_budget, CpuScenario, CriticalPowers, PowerBoundedProblem,
+    DEFAULT_STEP,
+};
+use pbc_platform::presets::ivybridge;
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+const BUDGETS: [f64; 4] = [176.0, 208.0, 240.0, 272.0];
+
+/// Run the Fig. 4 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig4",
+        "Category patterns vs total budget: SRA and DGEMM on IvyBridge",
+    );
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap().clone();
+    let dram = platform.dram().unwrap().clone();
+
+    for bench_name in ["sra", "dgemm"] {
+        let bench = by_name(bench_name).unwrap();
+        let cost = bench.demand.phases[0].1.pattern_cost;
+        let criticals = CriticalPowers::probe(&cpu, &dram, &bench.demand);
+
+        let mut curves = TextTable::new(
+            format!("{bench_name}: perf vs P_mem allocation at several budgets"),
+            &["P_b (W)", "P_mem (W)", "perf (rel)", "scenario"],
+        );
+        let mut spans_table = TextTable::new(
+            format!("{bench_name}: scenario spans per budget"),
+            &["P_b (W)", "scenarios present (low P_cpu -> high)", "has scenario I"],
+        );
+        for &b in &BUDGETS {
+            let problem = PowerBoundedProblem::new(
+                platform.clone(),
+                bench.demand.clone(),
+                Watts::new(b),
+            )?;
+            let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+            let spans = cpu_scenario_spans(&profile, &criticals, &dram, cost);
+            for pt in &profile.points {
+                let s = pbc_core::classify_cpu_point(&pt.op, &criticals, &dram, cost);
+                curves.push(vec![
+                    fmt(b),
+                    fmt(pt.alloc.mem.value()),
+                    fmt(pt.op.perf_rel),
+                    s.to_string(),
+                ]);
+            }
+            let names: Vec<String> = spans.iter().map(|(s, _, _)| s.to_string()).collect();
+            let has_one = spans.iter().any(|(s, _, _)| *s == CpuScenario::I);
+            spans_table.push(vec![fmt(b), names.join(" | "), has_one.to_string()]);
+        }
+        out.tables.push(spans_table);
+        out.tables.push(curves);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_scenario_i_appears_only_with_enough_budget() {
+        let out = run().unwrap();
+        let spans = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("sra: scenario spans"))
+            .unwrap();
+        // SRA's max demand is ~227 W: scenario I must be present at 240 and
+        // 272 W and absent at 176 and 208 W.
+        let by_budget: Vec<(f64, bool)> = spans
+            .rows
+            .iter()
+            .map(|r| (r[0].parse().unwrap(), r[2] == "true"))
+            .collect();
+        for (b, has_one) in by_budget {
+            if b >= 240.0 {
+                assert!(has_one, "scenario I missing at {b} W");
+            } else {
+                assert!(!has_one, "scenario I must not appear at {b} W");
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_dgemm_needs_more_budget_for_scenario_i() {
+        let out = run().unwrap();
+        let spans = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("dgemm: scenario spans"))
+            .unwrap();
+        // DGEMM's demand is ~224 W; scenario I must appear at 240+.
+        let at_240 = spans.rows.iter().find(|r| r[0] == "240.0").unwrap();
+        assert_eq!(at_240[2], "true");
+        let at_176 = spans.rows.iter().find(|r| r[0] == "176.0").unwrap();
+        assert_eq!(at_176[2], "false");
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 5 — balanced compute and memory access at the optimum.
+//!
+//! DGEMM and STREAM on the IvyBridge node at `P_b` = 208 W: for every
+//! allocation, each component's *capacity* (its rate when the other
+//! component is excessively powered — §3.4.1's definition) and its
+//! *utilization* (achieved rate over capacity). At the optimal allocation
+//! both utilizations approach 100 %.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{balance_analysis, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_platform::presets::ivybridge;
+use pbc_types::{Result, Watts};
+use pbc_workloads::by_name;
+
+/// Run the Fig. 5 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig5",
+        "Compute/memory capacity and utilization across allocations at P_b = 208 W (IvyBridge)",
+    );
+    for bench_name in ["dgemm", "stream"] {
+        let bench = by_name(bench_name).unwrap();
+        let problem =
+            PowerBoundedProblem::new(ivybridge(), bench.demand.clone(), Watts::new(208.0))?;
+        let points = balance_analysis(&problem, DEFAULT_STEP)?;
+        let mut t = TextTable::new(
+            format!("{bench_name} at 208 W: capacity and utilization"),
+            &[
+                "P_cpu (W)",
+                "P_mem (W)",
+                "perf (rel)",
+                "compute cap (GFLOP/s)",
+                "compute util",
+                "mem cap (GB/s)",
+                "mem util",
+            ],
+        );
+        for p in &points {
+            t.push(vec![
+                fmt(p.alloc.proc.value()),
+                fmt(p.alloc.mem.value()),
+                fmt(p.perf_rel),
+                fmt(p.compute_capacity),
+                fmt(p.compute_util),
+                fmt(p.mem_capacity),
+                fmt(p.mem_util),
+            ]);
+        }
+        out.tables.push(t);
+
+        let best = points
+            .iter()
+            .max_by(|a, b| a.perf_rel.partial_cmp(&b.perf_rel).unwrap())
+            .unwrap();
+        let mut s = TextTable::new(
+            format!("{bench_name} at 208 W: optimum"),
+            &["P_cpu*", "P_mem*", "compute util", "mem util"],
+        );
+        s.push(vec![
+            fmt(best.alloc.proc.value()),
+            fmt(best.alloc.mem.value()),
+            fmt(best.compute_util),
+            fmt(best.mem_util),
+        ]);
+        out.tables.push(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_optimum_is_balanced() {
+        let out = run().unwrap();
+        for bench in ["dgemm", "stream"] {
+            let t = out
+                .tables
+                .iter()
+                .find(|t| t.title == format!("{bench} at 208 W: optimum"))
+                .unwrap();
+            let cu: f64 = t.rows[0][2].parse().unwrap();
+            let mu: f64 = t.rows[0][3].parse().unwrap();
+            assert!(cu > 0.8, "{bench} compute util {cu}");
+            assert!(mu > 0.8, "{bench} mem util {mu}");
+        }
+    }
+
+    #[test]
+    fn fig5_optimal_splits_reflect_intensity() {
+        // DGEMM's optimal split gives the CPU far more than STREAM's does.
+        let out = run().unwrap();
+        let cpu_star = |bench: &str| -> f64 {
+            out.tables
+                .iter()
+                .find(|t| t.title == format!("{bench} at 208 W: optimum"))
+                .unwrap()
+                .rows[0][0]
+                .parse()
+                .unwrap()
+        };
+        assert!(cpu_star("dgemm") > cpu_star("stream") + 20.0);
+    }
+}

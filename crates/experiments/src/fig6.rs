@@ -1,0 +1,130 @@
+//! Figure 6 — GPU `perf_max` vs power cap.
+//!
+//! SGEMM and MiniFE on the Titan XP and Titan V. What to look for (§4):
+//! on the XP, SGEMM's bound keeps rising over the whole supported range
+//! (it demands > 300 W) while MiniFE flattens near 180 W; on the V, SGEMM
+//! flattens near 180 W and MiniFE is essentially flat over the studied
+//! range. The default (memory-at-nominal) capper fails to reach the
+//! best achievable performance at small caps.
+
+use crate::fig1::budget_grid;
+use crate::output::{fmt, sparkline, ExperimentOutput, TextTable};
+use pbc_core::{
+    flattening_budget, perf_max_curve, AllocationPolicy, Baseline, GpuCoordParams, GpuPolicy,
+    PowerBoundedProblem, DEFAULT_STEP,
+};
+use pbc_platform::presets::{titan_v, titan_xp};
+use pbc_platform::Platform;
+use pbc_types::{Result, Watts};
+use pbc_workloads::{by_name, Benchmark};
+
+fn one_card(platform: Platform, bench: &Benchmark, out: &mut ExperimentOutput) -> Result<()> {
+    let gpu = platform.gpu().unwrap().clone();
+    let params = GpuCoordParams::profile(&gpu, &bench.demand)?;
+    let default_policy = GpuPolicy {
+        baseline: Baseline::NvidiaDefault,
+        gpu: &gpu,
+        params: &params,
+    };
+    let tmpl = PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), Watts::new(200.0))?;
+    let lo = gpu.min_card_cap.value() + 5.0;
+    let curve = perf_max_curve(&tmpl, budget_grid(lo, 300.0, 7.0), DEFAULT_STEP)?;
+
+    let mut t = TextTable::new(
+        format!("{} on {}: perf_max vs card cap", bench.id, platform.id),
+        &["cap (W)", "perf_max (rel)", "best P_mem (W)", "default-capper perf", "gap (%)"],
+    );
+    let mut series = Vec::new();
+    for c in &curve {
+        let default_perf = default_policy
+            .allocate(c.budget)
+            .and_then(|alloc| pbc_powersim::solve(&platform, &bench.demand, alloc))
+            .map(|op| op.perf_rel)
+            .unwrap_or(0.0);
+        let gap = if default_perf > 0.0 {
+            (c.perf_max / default_perf - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        series.push(c.perf_max);
+        t.push(vec![
+            fmt(c.budget.value()),
+            fmt(c.perf_max),
+            fmt(c.best_alloc.mem.value()),
+            fmt(default_perf),
+            fmt(gap),
+        ]);
+    }
+    out.tables.push(t);
+
+    let mut s = TextTable::new(
+        format!("{} on {}: summary", bench.id, platform.id),
+        &["shape", "flattens at (W)", "perf at max cap"],
+    );
+    let flat = flattening_budget(&curve, 0.01);
+    s.push(vec![
+        sparkline(&series),
+        flat.map(|w| fmt(w.value())).unwrap_or_else(|| "-".into()),
+        fmt(curve.last().map(|c| c.perf_max).unwrap_or(0.0)),
+    ]);
+    out.tables.push(s);
+    Ok(())
+}
+
+/// Run the Fig. 6 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig6",
+        "GPU upper performance bound vs power cap (SGEMM, MiniFE on Titan XP and Titan V)",
+    );
+    for bench_name in ["sgemm", "minife"] {
+        let bench = by_name(bench_name).unwrap();
+        one_card(titan_xp(), &bench, &mut out)?;
+        one_card(titan_v(), &bench, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_of(out: &ExperimentOutput, title: &str) -> Option<f64> {
+        let t = out.tables.iter().find(|t| t.title.contains(title)).unwrap();
+        t.rows[0][1].parse().ok()
+    }
+
+    #[test]
+    fn fig6_flattening_points_match_the_paper() {
+        let out = run().unwrap();
+        // SGEMM on XP: still rising at the top of the range — its
+        // flattening point is the last budget (>= 290 W).
+        let sgemm_xp = flat_of(&out, "sgemm on titan-xp: summary").unwrap();
+        assert!(sgemm_xp >= 290.0, "SGEMM XP flattens at {sgemm_xp}");
+        // MiniFE on XP: flattens near 180 W.
+        let minife_xp = flat_of(&out, "minife on titan-xp: summary").unwrap();
+        assert!((160.0..=200.0).contains(&minife_xp), "MiniFE XP at {minife_xp}");
+        // SGEMM on V: flattens near 180 W.
+        let sgemm_v = flat_of(&out, "sgemm on titan-v: summary").unwrap();
+        assert!((165.0..=205.0).contains(&sgemm_v), "SGEMM V at {sgemm_v}");
+        // MiniFE on V: essentially flat — flattening point near the bottom
+        // of the studied range.
+        let minife_v = flat_of(&out, "minife on titan-v: summary").unwrap();
+        assert!(minife_v <= 140.0, "MiniFE V at {minife_v}");
+    }
+
+    #[test]
+    fn fig6_default_capper_lags_at_small_caps() {
+        // §4: "the default power capping mechanism for Nvidia GPUs fails
+        // to reach the maximum performance".
+        let out = run().unwrap();
+        let t = out
+            .tables
+            .iter()
+            .find(|t| t.title.contains("sgemm on titan-xp: perf_max"))
+            .unwrap();
+        let first = &t.rows[0]; // smallest cap
+        let gap: f64 = first[4].parse().unwrap();
+        assert!(gap > 5.0, "default-capper gap at the smallest cap: {gap}%");
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 7 — GPU performance trends as the memory allocation grows,
+//! under various total caps.
+//!
+//! The three application patterns of §4 on the Titan XP (and the
+//! memory-bound behaviour of the Titan V):
+//!
+//! 1. compute-intensive (SGEMM): best at *minimum* memory power; curves
+//!    flat (cat. I) at large caps, decreasing (cat. II) at small caps;
+//! 2. memory-intensive (STREAM, MiniFE): perf rises with memory power
+//!    (cat. III) and the curves for different caps overlap;
+//! 3. in-between (Cloverleaf): rises then falls at small caps; curves
+//!    diverge.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{classify_gpu_point, PowerBoundedProblem, sweep_budget, DEFAULT_STEP};
+use pbc_platform::presets::{titan_v, titan_xp};
+use pbc_platform::Platform;
+use pbc_types::{Result, Watts};
+use pbc_workloads::{by_name, Benchmark};
+
+const CAPS: [f64; 5] = [140.0, 170.0, 200.0, 230.0, 260.0];
+
+fn one_bench(platform: &Platform, bench: &Benchmark, out: &mut ExperimentOutput) -> Result<()> {
+    let gpu = platform.gpu().unwrap().clone();
+    let bw_demand = gpu.mem.max_bandwidth.value()
+        * bench
+            .demand
+            .phases
+            .first()
+            .map(|(_, p)| p.bw_saturation)
+            .unwrap_or(1.0);
+    let mut t = TextTable::new(
+        format!("{} on {}: perf vs P_mem under total caps", bench.id, platform.id),
+        &["cap (W)", "P_mem (W)", "perf (rel)", "category"],
+    );
+    let mut trend = TextTable::new(
+        format!("{} on {}: per-cap trend", bench.id, platform.id),
+        &["cap (W)", "perf @ min P_mem", "perf @ max P_mem", "direction"],
+    );
+    for &cap in &CAPS {
+        let problem =
+            PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), Watts::new(cap))?;
+        let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+        if profile.points.is_empty() {
+            continue;
+        }
+        // Order by memory allocation ascending.
+        let mut pts = profile.points.clone();
+        pts.sort_by(|a, b| a.alloc.mem.partial_cmp(&b.alloc.mem).unwrap());
+        for pt in &pts {
+            let cat = classify_gpu_point(&pt.op, &gpu, bw_demand);
+            t.push(vec![
+                fmt(cap),
+                fmt(pt.alloc.mem.value()),
+                fmt(pt.op.perf_rel),
+                cat.to_string(),
+            ]);
+        }
+        let first = pts.first().unwrap().op.perf_rel;
+        let last = pts.last().unwrap().op.perf_rel;
+        let dir = if last > first * 1.02 {
+            "rising"
+        } else if last < first * 0.98 {
+            "falling"
+        } else {
+            "flat"
+        };
+        trend.push(vec![fmt(cap), fmt(first), fmt(last), dir.into()]);
+    }
+    out.tables.push(trend);
+    out.tables.push(t);
+    Ok(())
+}
+
+/// Run the Fig. 7 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig7",
+        "GPU performance vs memory power allocation under various total caps",
+    );
+    let xp = titan_xp();
+    let v = titan_v();
+    for bench_name in ["sgemm", "gpu-stream", "minife", "cloverleaf"] {
+        let bench = by_name(bench_name).unwrap();
+        one_bench(&xp, &bench, &mut out)?;
+    }
+    for bench_name in ["sgemm", "gpu-stream", "minife"] {
+        let bench = by_name(bench_name).unwrap();
+        one_bench(&v, &bench, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trend_rows<'a>(out: &'a ExperimentOutput, title: &str) -> &'a TextTable {
+        out.tables.iter().find(|t| t.title.contains(title)).unwrap()
+    }
+
+    #[test]
+    fn fig7_sgemm_never_gains_from_memory_power() {
+        let out = run().unwrap();
+        let t = trend_rows(&out, "sgemm on titan-xp: per-cap trend");
+        for r in &t.rows {
+            assert_ne!(r[3], "rising", "SGEMM must not gain from P_mem: {r:?}");
+        }
+        // And at the smallest cap it actively loses (category II).
+        assert_eq!(t.rows[0][3], "falling", "{:?}", t.rows[0]);
+    }
+
+    #[test]
+    fn fig7_stream_gains_from_memory_power() {
+        let out = run().unwrap();
+        let t = trend_rows(&out, "gpu-stream on titan-xp: per-cap trend");
+        // At generous caps the memory-bound benchmark rises with P_mem.
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[3], "rising", "{last:?}");
+    }
+
+    #[test]
+    fn fig7_stream_overlapping_curves_at_large_caps() {
+        // §4: for memory-intensive apps "the performance curves with
+        // different P_b's overlap" (category III): perf at max P_mem is
+        // nearly identical for the two largest caps.
+        let out = run().unwrap();
+        let t = trend_rows(&out, "gpu-stream on titan-xp: per-cap trend");
+        let big: Vec<f64> = t
+            .rows
+            .iter()
+            .rev()
+            .take(2)
+            .map(|r| r[2].parse().unwrap())
+            .collect();
+        assert!((big[0] - big[1]).abs() < 0.05, "{big:?}");
+    }
+
+    #[test]
+    fn fig7_titan_v_is_memory_bound() {
+        // §4: "On Titan V, application performance is generally memory
+        // bounded, and increases with memory power allocation."
+        let out = run().unwrap();
+        let t = trend_rows(&out, "minife on titan-v: per-cap trend");
+        let last = t.rows.last().unwrap();
+        assert!(last[3] == "rising" || last[3] == "flat", "{last:?}");
+    }
+}

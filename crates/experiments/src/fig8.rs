@@ -1,0 +1,183 @@
+//! Figure 8 — performance profiles of every Table-3 benchmark on its
+//! platforms.
+//!
+//! The universality check (§6.2): all benchmarks share the same category
+//! patterns while differing in sensitivity (curve slope), category spans,
+//! power magnitudes, and optimal allocation points. The full sweep data
+//! goes to CSV; the terminal shows a per-benchmark summary.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{sweep_budget, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_platform::presets::{haswell, ivybridge, titan_v, titan_xp};
+use pbc_platform::Platform;
+use pbc_types::{Result, Watts};
+use pbc_workloads::{cpu_suite, gpu_suite, Benchmark};
+
+/// The budget each suite is profiled at (comparable to the paper's plots).
+fn profile_budget(platform: &Platform) -> Watts {
+    if platform.is_gpu() {
+        Watts::new(200.0)
+    } else {
+        Watts::new(208.0)
+    }
+}
+
+fn profile_one(
+    platform: &Platform,
+    bench: &Benchmark,
+    summary: &mut TextTable,
+    curves: &mut TextTable,
+) -> Result<()> {
+    let budget = profile_budget(platform);
+    let problem = PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), budget)?;
+    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    if profile.points.is_empty() {
+        return Ok(());
+    }
+    for pt in &profile.points {
+        curves.push(vec![
+            bench.id.to_string(),
+            platform.id.to_string(),
+            fmt(budget.value()),
+            fmt(pt.alloc.proc.value()),
+            fmt(pt.alloc.mem.value()),
+            fmt(pt.op.perf_rel),
+            fmt(pt.op.proc_power.value()),
+            fmt(pt.op.mem_power.value()),
+        ]);
+    }
+    let best = profile.best().unwrap();
+    let worst = profile.worst().unwrap();
+    summary.push(vec![
+        bench.id.to_string(),
+        platform.id.to_string(),
+        bench.class.to_string(),
+        fmt(best.alloc.proc.value()),
+        fmt(best.alloc.mem.value()),
+        fmt(best.op.perf_rel),
+        fmt(worst.op.perf_rel),
+        fmt(profile.spread()),
+    ]);
+    Ok(())
+}
+
+/// Run the Fig. 8 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig8",
+        "Profiles of all Table-3 benchmarks across the platforms (universality of patterns)",
+    );
+    let mut summary = TextTable::new(
+        "Per-benchmark profile summary",
+        &[
+            "benchmark",
+            "platform",
+            "class",
+            "best P_proc (W)",
+            "best P_mem (W)",
+            "best perf",
+            "worst perf",
+            "spread (x)",
+        ],
+    );
+    let mut curves = TextTable::new(
+        "Full profile curves (CSV)",
+        &[
+            "benchmark",
+            "platform",
+            "P_b (W)",
+            "P_proc (W)",
+            "P_mem (W)",
+            "perf (rel)",
+            "proc actual (W)",
+            "mem actual (W)",
+        ],
+    );
+    for platform in [ivybridge(), haswell()] {
+        for bench in cpu_suite() {
+            profile_one(&platform, &bench, &mut summary, &mut curves)?;
+        }
+    }
+    for platform in [titan_xp(), titan_v()] {
+        for bench in gpu_suite() {
+            profile_one(&platform, &bench, &mut summary, &mut curves)?;
+        }
+    }
+    out.tables.push(summary);
+    out.tables.push(curves);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_workloads::BenchClass;
+
+    #[test]
+    fn fig8_covers_every_benchmark_on_every_relevant_platform() {
+        let out = run().unwrap();
+        let summary = &out.tables[0];
+        // 11 CPU benchmarks x 2 platforms + 6 GPU x 2 = 34 rows.
+        assert_eq!(summary.rows.len(), 34, "{}", summary.rows.len());
+    }
+
+    #[test]
+    fn fig8_class_determines_optimal_split_direction() {
+        // §6.2: memory-intensive workloads demand more memory budget,
+        // compute-intensive ones more processor budget. Check on
+        // IvyBridge: the best split's processor share orders accordingly.
+        let out = run().unwrap();
+        let summary = &out.tables[0];
+        let proc_share = |bench: &str| -> f64 {
+            let r = summary
+                .rows
+                .iter()
+                .find(|r| r[0] == bench && r[1] == "ivybridge")
+                .unwrap();
+            let proc: f64 = r[3].parse().unwrap();
+            let mem: f64 = r[4].parse().unwrap();
+            proc / (proc + mem)
+        };
+        assert!(proc_share("dgemm") > proc_share("mg") + 0.05);
+        assert!(proc_share("bt") > proc_share("stream"));
+    }
+
+    #[test]
+    fn fig8_cpu_spreads_dwarf_gpu_spreads() {
+        let out = run().unwrap();
+        let summary = &out.tables[0];
+        let mut cpu_max: f64 = 0.0;
+        let mut gpu_max: f64 = 0.0;
+        for r in &summary.rows {
+            let spread: f64 = r[7].parse().unwrap();
+            if r[1].starts_with("titan") {
+                gpu_max = gpu_max.max(spread);
+            } else {
+                cpu_max = cpu_max.max(spread);
+            }
+        }
+        assert!(cpu_max > 5.0, "CPU max spread {cpu_max}");
+        assert!(gpu_max < 3.0, "GPU max spread {gpu_max}");
+    }
+
+    #[test]
+    fn fig8_memory_intensive_benchmarks_favor_memory() {
+        let out = run().unwrap();
+        let summary = &out.tables[0];
+        for r in &summary.rows {
+            if r[1] != "ivybridge" {
+                continue;
+            }
+            let class = &r[2];
+            let proc: f64 = r[3].parse().unwrap();
+            let mem: f64 = r[4].parse().unwrap();
+            if class == &BenchClass::MemoryIntensive.to_string() {
+                assert!(
+                    mem > 0.35 * (proc + mem),
+                    "memory-intensive {} starves memory: {proc}/{mem}",
+                    r[0]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Figure 9 — accuracy of the COORD heuristic.
+//!
+//! CPU: COORD vs the sweep oracle vs the memory-first strategy across all
+//! 11 benchmarks and a budget grid on the IvyBridge node. Paper claims to
+//! reproduce: COORD within 5 % of the oracle at large caps, ≤ ~10 % on
+//! average over all caps, and generally ahead of memory-first at small
+//! budgets.
+//!
+//! GPU: COORD vs the oracle and the Nvidia default capper on the Titan XP
+//! across the 6 GPU benchmarks. Paper claims: within ~2 % of the oracle
+//! and up to 33 % better than the default.
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{
+    oracle, AllocationPolicy, Baseline, CpuPolicy, CriticalPowers, GpuCoordParams, GpuPolicy,
+    PowerBoundedProblem, DEFAULT_STEP,
+};
+use pbc_platform::presets::{haswell, ivybridge, titan_v, titan_xp};
+use pbc_types::{Result, Watts};
+use pbc_workloads::{cpu_suite, gpu_suite};
+
+const CPU_BUDGETS: [f64; 6] = [150.0, 170.0, 190.0, 210.0, 230.0, 250.0];
+const GPU_CAPS: [f64; 6] = [140.0, 170.0, 200.0, 230.0, 260.0, 290.0];
+
+/// Run the Fig. 9 reproduction.
+pub fn run() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig9",
+        "COORD vs the sweep oracle and the baseline strategies",
+    );
+
+    // ---- CPU side: both host platforms ----
+    let mut detail = TextTable::new(
+        "CPU: per-benchmark per-budget performance (relative to oracle = 1)",
+        &["platform", "benchmark", "P_b (W)", "oracle perf", "COORD/oracle", "memory-first/oracle"],
+    );
+    let mut gaps_all = Vec::new();
+    let mut gaps_large = Vec::new();
+    let mut coord_vs_memfirst_wins = 0usize;
+    let mut comparisons = 0usize;
+
+    for platform in [ivybridge(), haswell()] {
+    let cpu = platform.cpu().unwrap().clone();
+    let dram = platform.dram().unwrap().clone();
+    for bench in cpu_suite() {
+        let criticals = CriticalPowers::probe(&cpu, &dram, &bench.demand);
+        for &b in &CPU_BUDGETS {
+            let problem = PowerBoundedProblem::new(
+                platform.clone(),
+                bench.demand.clone(),
+                Watts::new(b),
+            )?;
+            let best = oracle(&problem, DEFAULT_STEP)?;
+            let run_policy = |baseline: Baseline| -> Option<f64> {
+                let policy = CpuPolicy {
+                    baseline,
+                    criticals: &criticals,
+                };
+                policy
+                    .allocate(Watts::new(b))
+                    .and_then(|alloc| pbc_powersim::solve(&platform, &bench.demand, alloc))
+                    .map(|op| op.perf_rel)
+                    .ok()
+            };
+            let coord = run_policy(Baseline::Coord);
+            let memfirst = run_policy(Baseline::MemoryFirst);
+            // A rejected budget (regime D) is a designed outcome — COORD
+            // hands the power back to the scheduler rather than running
+            // the job badly — so it does not enter the gap statistics.
+            if let Some(coord) = coord {
+                let ratio_coord = coord / best.op.perf_rel.max(1e-12);
+                // COORD is allowed to beat the (stepped) oracle slightly —
+                // the paper observes the same for NPB LU.
+                gaps_all.push((1.0 - ratio_coord).max(0.0));
+                if b >= 210.0 {
+                    gaps_large.push((1.0 - ratio_coord).max(0.0));
+                }
+                if coord >= memfirst.unwrap_or(0.0) - 1e-9 {
+                    coord_vs_memfirst_wins += 1;
+                }
+                comparisons += 1;
+            }
+            let show = |v: Option<f64>| -> String {
+                match v {
+                    Some(p) => fmt(p / best.op.perf_rel.max(1e-12)),
+                    None => "rejected".into(),
+                }
+            };
+            detail.push(vec![
+                platform.id.to_string(),
+                bench.id.to_string(),
+                fmt(b),
+                fmt(best.op.perf_rel),
+                show(coord),
+                show(memfirst),
+            ]);
+        }
+    }
+    }
+    out.tables.push(detail);
+
+    let mut summary = TextTable::new(
+        "CPU summary: COORD vs oracle",
+        &[
+            "mean gap all caps (%)",
+            "max gap all caps (%)",
+            "mean gap large caps (%)",
+            "COORD >= memory-first (frac)",
+            "paper",
+        ],
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    summary.push(vec![
+        fmt(mean(&gaps_all) * 100.0),
+        fmt(gaps_all.iter().cloned().fold(0.0, f64::max) * 100.0),
+        fmt(mean(&gaps_large) * 100.0),
+        fmt(coord_vs_memfirst_wins as f64 / comparisons.max(1) as f64),
+        "9.6% mean, <5% large".into(),
+    ]);
+    out.tables.push(summary);
+
+    // ---- GPU side: both cards ----
+    let mut detail = TextTable::new(
+        "GPU: per-benchmark per-cap performance",
+        &["platform", "benchmark", "cap (W)", "oracle perf", "COORD/oracle", "COORD/default", "P_tot_ref (W)"],
+    );
+    let mut ggaps = Vec::new();
+    let mut default_gains = Vec::new();
+    for gplatform in [titan_xp(), titan_v()] {
+    let gpu = gplatform.gpu().unwrap().clone();
+    for bench in gpu_suite() {
+        let params = GpuCoordParams::profile(&gpu, &bench.demand)?;
+        for &cap in &GPU_CAPS {
+            if Watts::new(cap) < gpu.min_card_cap {
+                continue;
+            }
+            let problem = PowerBoundedProblem::new(
+                gplatform.clone(),
+                bench.demand.clone(),
+                Watts::new(cap),
+            )?;
+            let best = oracle(&problem, DEFAULT_STEP)?;
+            let run_policy = |baseline: Baseline| -> f64 {
+                let policy = GpuPolicy {
+                    baseline,
+                    gpu: &gpu,
+                    params: &params,
+                };
+                policy
+                    .allocate(Watts::new(cap))
+                    .and_then(|alloc| pbc_powersim::solve(&gplatform, &bench.demand, alloc))
+                    .map(|op| op.perf_rel)
+                    .unwrap_or(0.0)
+            };
+            let coord = run_policy(Baseline::Coord);
+            let default = run_policy(Baseline::NvidiaDefault);
+            let ratio = coord / best.op.perf_rel.max(1e-12);
+            ggaps.push((1.0 - ratio).max(0.0));
+            if default > 0.0 {
+                default_gains.push(coord / default - 1.0);
+            }
+            detail.push(vec![
+                gplatform.id.to_string(),
+                bench.id.to_string(),
+                fmt(cap),
+                fmt(best.op.perf_rel),
+                fmt(ratio),
+                fmt(if default > 0.0 { coord / default } else { f64::NAN }),
+                fmt(params.p_tot_ref.value()),
+            ]);
+        }
+    }
+    }
+    out.tables.push(detail);
+
+    let mut summary = TextTable::new(
+        "GPU summary: COORD vs oracle and default capper",
+        &["mean gap (%)", "max gap (%)", "max gain over default (%)", "paper"],
+    );
+    summary.push(vec![
+        fmt(mean(&ggaps) * 100.0),
+        fmt(ggaps.iter().cloned().fold(0.0, f64::max) * 100.0),
+        fmt(default_gains.iter().cloned().fold(0.0, f64::max) * 100.0),
+        "<2% gap, up to 33% over default".into(),
+    ]);
+    out.tables.push(summary);
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(out: &ExperimentOutput, title: &str, col: usize) -> f64 {
+        out.tables
+            .iter()
+            .find(|t| t.title.contains(title))
+            .unwrap()
+            .rows[0][col]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig9_cpu_coord_accuracy_matches_paper_bands() {
+        let out = run().unwrap();
+        let mean_all = cell(&out, "CPU summary", 0);
+        let mean_large = cell(&out, "CPU summary", 2);
+        // Paper: 9.6% average over all caps, <5% for large caps.
+        assert!(mean_all < 15.0, "mean gap over all caps {mean_all}%");
+        assert!(mean_large < 6.0, "mean gap at large caps {mean_large}%");
+        // COORD beats or matches memory-first most of the time.
+        let winfrac = cell(&out, "CPU summary", 3);
+        assert!(winfrac > 0.6, "COORD>=memory-first fraction {winfrac}");
+    }
+
+    #[test]
+    fn fig9_gpu_coord_accuracy_matches_paper_bands() {
+        let out = run().unwrap();
+        let mean_gap = cell(&out, "GPU summary", 0);
+        assert!(mean_gap < 4.0, "GPU mean gap {mean_gap}%");
+        // Up to tens of percent better than the Nvidia default.
+        let max_gain = cell(&out, "GPU summary", 2);
+        assert!(
+            (10.0..=60.0).contains(&max_gain),
+            "max gain over default {max_gain}%"
+        );
+    }
+}

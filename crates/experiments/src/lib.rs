@@ -1,0 +1,82 @@
+//! # pbc-experiments
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation, each regenerating the corresponding data series through the
+//! public APIs of `pbc-core`, `pbc-powersim`, and `pbc-workloads`.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig1`] | Fig. 1 — STREAM under power bounds, CPU & GPU (motivation) |
+//! | [`fig2`] | Fig. 2 — `perf_max ~ P_b` for DGEMM & RandomAccess on both CPU platforms |
+//! | [`fig3`] | Fig. 3 — the six scenario categories (SRA on IvyBridge, 240 W) |
+//! | [`fig4`] | Fig. 4 — category patterns across budgets (SRA, EP-DGEMM) |
+//! | [`fig5`] | Fig. 5 — balanced compute/memory utilization at 208 W |
+//! | [`fig6`] | Fig. 6 — GPU `perf_max` vs power cap (SGEMM & MiniFE, XP & V) |
+//! | [`fig7`] | Fig. 7 — GPU perf vs memory allocation under various caps |
+//! | [`fig8`] | Fig. 8 — profiles of all Table-3 benchmarks on all platforms |
+//! | [`fig9`] | Fig. 9 — COORD vs oracle vs memory-first / Nvidia default |
+//! | [`tables`] | Tables 1–3 |
+//! | [`ext1`] | *extension*: online (model-free) coordination, the paper's future work |
+//! | [`ext2`] | *extension*: per-socket coordination under workload imbalance |
+//! | [`ext3`] | *extension*: hybrid host+card coordination for offload applications |
+//! | [`ext4`] | *extension*: co-run coordination for multi-tenant nodes |
+//! | [`ext5`] | *extension*: RQ4 quantified — acceptable budget bands and efficiency curves |
+//!
+//! Every experiment returns an [`output::ExperimentOutput`]: rendered text
+//! tables for the terminal plus CSV series for downstream plotting. The
+//! `repro` binary dispatches on experiment name and writes the CSVs under
+//! `results/`.
+
+pub mod ext1;
+pub mod ext2;
+pub mod ext3;
+pub mod ext4;
+pub mod ext5;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod tables;
+
+pub use output::{ExperimentOutput, TextTable};
+
+use pbc_types::Result;
+
+/// Every experiment by name, in paper order.
+pub const EXPERIMENTS: [&str; 17] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+    "table3", "ext1", "ext2", "ext3", "ext4", "ext5",
+];
+
+/// Run one experiment by name.
+pub fn run(name: &str) -> Result<ExperimentOutput> {
+    match name {
+        "fig1" => fig1::run(),
+        "fig2" => fig2::run(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "fig5" => fig5::run(),
+        "fig6" => fig6::run(),
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(),
+        "fig9" => fig9::run(),
+        "table1" => tables::table1_experiment(),
+        "table2" => tables::table2_experiment(),
+        "table3" => tables::table3_experiment(),
+        "ext1" => ext1::run(),
+        "ext2" => ext2::run(),
+        "ext3" => ext3::run(),
+        "ext4" => ext4::run(),
+        "ext5" => ext5::run(),
+        other => Err(pbc_types::PbcError::NotFound(format!(
+            "experiment {other}; known: {}",
+            EXPERIMENTS.join(", ")
+        ))),
+    }
+}

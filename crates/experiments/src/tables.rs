@@ -1,0 +1,132 @@
+//! Tables 1–3 of the paper.
+//!
+//! * Table 1 — optimal allocation and critical component vs power budget
+//!   (derived from the scenario machinery for SRA on IvyBridge).
+//! * Table 2 — the experimental platforms (from `pbc-platform` presets).
+//! * Table 3 — the benchmark suite (from `pbc-workloads`).
+
+use crate::output::{fmt, ExperimentOutput, TextTable};
+use pbc_core::{table1, CriticalPowers, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_platform::{all_platforms, NodeSpec};
+use pbc_types::{Result, Watts};
+use pbc_workloads::{all_benchmarks, by_name, Target};
+
+/// Regenerate Table 1: optimal allocation intersection and critical
+/// component for descending budget regimes.
+pub fn table1_experiment() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "table1",
+        "Optimal allocation scenario and critical component vs power budget (SRA, IvyBridge)",
+    );
+    let platform = pbc_platform::presets::ivybridge();
+    let sra = by_name("sra").unwrap();
+    let criticals = CriticalPowers::probe(
+        platform.cpu().unwrap(),
+        platform.dram().unwrap(),
+        &sra.demand,
+    );
+    let tmpl = PowerBoundedProblem::new(platform, sra.demand.clone(), Watts::new(240.0))?;
+    let rows = table1(&tmpl, &criticals, DEFAULT_STEP)?;
+    let mut t = TextTable::new(
+        "Table 1: optimal allocation vs budget regime",
+        &["P_b (W)", "valid scenarios", "optimal scenario", "critical component"],
+    );
+    for r in &rows {
+        t.push(vec![
+            fmt(r.budget.value()),
+            r.valid_scenarios
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.optimal_scenario.to_string(),
+            r.critical
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".into()),
+        ]);
+    }
+    out.tables.push(t);
+    Ok(out)
+}
+
+/// Regenerate Table 2: the platform inventory.
+pub fn table2_experiment() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new("table2", "CPU and GPU platforms used in experiments");
+    let mut t = TextTable::new(
+        "Table 2: platforms",
+        &["platform", "processor", "memory", "floor (W)", "peak GFLOP/s", "peak GB/s"],
+    );
+    for p in all_platforms() {
+        match &p.spec {
+            NodeSpec::Cpu { cpu, dram } => t.push(vec![
+                p.id.to_string(),
+                cpu.name.clone(),
+                dram.name.clone(),
+                fmt(p.min_node_power().value()),
+                fmt(cpu.peak_gflops()),
+                fmt(dram.max_bandwidth.value()),
+            ]),
+            NodeSpec::Gpu(g) => t.push(vec![
+                p.id.to_string(),
+                format!("{} ({} SMs)", g.name, g.sm_count),
+                format!("12 GB {}", if p.id == pbc_platform::PlatformId::TitanV { "HBM2" } else { "GDDR5X" }),
+                fmt(p.min_node_power().value()),
+                fmt(g.peak_gflops),
+                fmt(g.mem.max_bandwidth.value()),
+            ]),
+        }
+    }
+    out.tables.push(t);
+    Ok(out)
+}
+
+/// Regenerate Table 3: the benchmark inventory.
+pub fn table3_experiment() -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new("table3", "Benchmarks used in this study");
+    let mut t = TextTable::new(
+        "Table 3: benchmarks",
+        &["benchmark", "suite", "description", "class", "mean FLOP/byte"],
+    );
+    for b in all_benchmarks() {
+        t.push(vec![
+            b.id.to_string(),
+            match b.target {
+                Target::Cpu => "CPU (HPCC/NPB/STREAM)".into(),
+                Target::Gpu => "GPU (CUDA/ECP)".to_string(),
+            },
+            b.description.to_string(),
+            b.class.to_string(),
+            fmt(b.demand.mean_intensity()),
+        ]);
+    }
+    out.tables.push(t);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_first_row_is_unconstrained() {
+        let out = table1_experiment().unwrap();
+        let t = &out.tables[0];
+        assert!(t.rows.len() >= 4);
+        assert_eq!(t.rows[0][2], "I");
+        assert_eq!(t.rows[0][3], "none");
+        // Below the first regime a critical component exists.
+        assert_ne!(t.rows[1][3], "none");
+    }
+
+    #[test]
+    fn table2_has_four_platforms() {
+        let out = table2_experiment().unwrap();
+        assert_eq!(out.tables[0].rows.len(), 4);
+    }
+
+    #[test]
+    fn table3_has_seventeen_benchmarks() {
+        let out = table3_experiment().unwrap();
+        assert_eq!(out.tables[0].rows.len(), 17);
+    }
+}

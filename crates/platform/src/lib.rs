@@ -1,0 +1,35 @@
+//! # pbc-platform
+//!
+//! Descriptions of the hardware platforms the paper evaluates on (its
+//! Table 2), expressed as parameterized specifications that the power
+//! simulator (`pbc-powersim`) interprets:
+//!
+//! | Platform        | Processor                        | Memory        |
+//! |-----------------|----------------------------------|---------------|
+//! | CPU Platform I  | 2× Xeon 10-core IvyBridge        | 256 GB DDR3   |
+//! | CPU Platform II | 2× Xeon 12-core Haswell          | 256 GB DDR4   |
+//! | GPU Platform I  | Nvidia Titan XP                  | 12 GB GDDR5X  |
+//! | GPU Platform II | Nvidia Titan V                   | 12 GB HBM2    |
+//!
+//! A specification captures exactly the knobs the paper's mechanisms act
+//! on: the P-state (DVFS) table and T-state (clock-modulation) duty levels
+//! for CPU packages, background/transfer power and throttle granularity for
+//! DRAM, and clock/voltage ranges plus the card-level capper limits for
+//! GPUs. The presets in [`presets`] are calibrated against the quantitative
+//! anchors the paper reports (e.g. 48 W minimum CPU package power, 112 W /
+//! 116 W unconstrained CPU/DRAM draw for RandomAccess on IvyBridge, 250 W
+//! GPU TDP with a 300 W maximum user cap).
+
+pub mod cpu;
+pub mod dram;
+pub mod gpu;
+pub mod platform;
+pub mod presets;
+pub mod pstate;
+
+pub use cpu::CpuSpec;
+pub use dram::{DramSpec, MemoryTechnology};
+pub use gpu::{GpuSpec, MemClockTable, SmClockTable};
+pub use platform::{NodeSpec, Platform, PlatformId};
+pub use presets::{all_platforms, haswell, ivybridge, titan_v, titan_xp};
+pub use pstate::{PState, PStateTable};

@@ -1,0 +1,394 @@
+//! Steady-state solver for a discrete GPU card under the card-level
+//! capper.
+//!
+//! ## Mechanism (what §4 of the paper describes)
+//!
+//! A cross-component allocation on a GPU is expressed through *frequency
+//! offsets*: the memory allocation selects a memory clock level (the
+//! highest whose worst-case power fits the allocation), and the boost
+//! governor then picks the highest SM clock whose **total** card draw fits
+//! the card cap. Because the governor checks the total against the cap, a
+//! memory allocation the workload doesn't actually use is automatically
+//! *reclaimed* for the SMs — the paper's key mechanism difference versus
+//! RAPL's independent PKG/DRAM domains ("the GPU power capping
+//! automatically reclaims unused power budget and shifts it to another
+//! component").
+//!
+//! Two hardware guards shape the category structure:
+//!
+//! * The driver rejects card caps below [`GpuSpec::min_card_cap`] — this
+//!   excludes the catastrophic categories IV–VI entirely.
+//! * Neither domain clocks below its lowest exposed level, so performance
+//!   never collapses the way T-states collapse a host CPU.
+
+use crate::demand::{PhaseDemand, WorkloadDemand};
+use crate::operating::{GpuMechanismState, MechanismState, NodeOperatingPoint};
+use pbc_platform::GpuSpec;
+use pbc_types::{Bandwidth, PbcError, PowerAllocation, Result, Watts};
+
+/// Result of composing one phase at a fixed (SM clock, mem level).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GpuPhasePoint {
+    pub(crate) time: f64,
+    pub(crate) sm_power: Watts,
+    pub(crate) mem_power: Watts,
+    pub(crate) bandwidth: Bandwidth,
+    pub(crate) busy: f64,
+}
+
+/// Compose a phase at fixed clocks. The activity is a closed-form function
+/// of the busy fraction here (no RAPL-style state/activity feedback on a
+/// fixed clock), so no iteration is needed.
+pub(crate) fn compose_at(gpu: &GpuSpec, phase: &PhaseDemand, sm_clock: usize, mem_level: usize) -> GpuPhasePoint {
+    let s = gpu.sm.speed_at(sm_clock);
+    let peak = gpu.peak_gflops * phase.compute_efficiency;
+    let t_c = 1.0 / (peak * s);
+    let bytes_gb = 1.0 / phase.arithmetic_intensity;
+    let lvl_bw = gpu.mem.bandwidth_at(mem_level);
+    let phase_bw =
+        gpu.mem.max_bandwidth.value() * phase.bw_saturation * s.powf(phase.issue_sensitivity);
+    let bw = phase_bw.min(lvl_bw.value()).max(1e-9);
+    let t_m = bytes_gb / bw;
+    let w = phase.overlap;
+    let t = w * t_c.max(t_m) + (1.0 - w) * (t_c + t_m);
+    let busy = (t_c / t).clamp(0.0, 1.0);
+    let bw_used = Bandwidth::new(bytes_gb / t);
+    let activity = phase.act_compute * busy + phase.act_stall * (1.0 - busy);
+    GpuPhasePoint {
+        time: t,
+        sm_power: gpu.sm.power_at(sm_clock, activity),
+        mem_power: gpu.mem.power_at(mem_level, bw_used),
+        bandwidth: bw_used,
+        busy,
+    }
+}
+
+/// The boost governor: highest SM clock whose draw fits the budget rule.
+///
+/// With reclamation, the rule is `sm + mem_actual <= card_cap`; without,
+/// the SM domain is additionally confined to its own allocation.
+fn pick_sm_clock(
+    gpu: &GpuSpec,
+    phase: &PhaseDemand,
+    mem_level: usize,
+    card_cap: Watts,
+    sm_alloc: Watts,
+) -> (usize, GpuPhasePoint) {
+    let mut fallback = None;
+    for c in (0..gpu.sm.len()).rev() {
+        let pt = compose_at(gpu, phase, c, mem_level);
+        let fits_total = pt.sm_power + pt.mem_power <= card_cap + Watts::new(1e-9);
+        let fits_own = if gpu.reclaims_unused {
+            true
+        } else {
+            pt.sm_power <= sm_alloc + Watts::new(1e-9)
+        };
+        if fits_total && fits_own {
+            return (c, pt);
+        }
+        fallback = Some((c, pt));
+    }
+    // Nothing fits: run at the floor clock (the driver guarantees the
+    // min_card_cap is above the floor draw, so this is unreachable for
+    // accepted caps — kept for robustness).
+    fallback.expect("SM clock table is never empty")
+}
+
+/// The card's *uncapped* power demand for a workload: total, SM, and
+/// memory power at the top clocks with no cap applied. `solve_gpu` clamps
+/// every allocation to the card's settable range (as the driver does), so
+/// this is the way to ask "what would it draw if it could?" — the
+/// `P_tot_max` parameter of the paper's Algorithm 2.
+pub fn uncapped_demand(gpu: &GpuSpec, demand: &WorkloadDemand) -> (Watts, Watts, Watts) {
+    let weights = demand.normalized_weights();
+    let mut t_total = 0.0;
+    let mut pts = Vec::new();
+    for (w, phase) in weights.iter().zip(demand.phases.iter().map(|(_, p)| p)) {
+        let pt = compose_at(gpu, phase, gpu.sm.top(), gpu.mem.top());
+        t_total += w * pt.time;
+        pts.push(pt);
+    }
+    let mut sm = 0.0;
+    let mut mem = 0.0;
+    for (w, pt) in weights.iter().zip(&pts) {
+        let frac = if t_total > 0.0 { w * pt.time / t_total } else { 0.0 };
+        sm += frac * pt.sm_power.value();
+        mem += frac * pt.mem_power.value();
+    }
+    (Watts::new(sm + mem), Watts::new(sm), Watts::new(mem))
+}
+
+/// Solve the steady-state operating point of a GPU card.
+///
+/// `alloc.proc` is the SM share and `alloc.mem` the memory share of the
+/// card cap `alloc.total()`. Returns [`PbcError::CapOutOfRange`] when the
+/// total is below the card's minimum settable cap; totals above the
+/// maximum settable cap are clamped to it (that is what `nvidia-smi` does
+/// when asked for the maximum).
+pub fn solve_gpu(
+    gpu: &GpuSpec,
+    demand: &WorkloadDemand,
+    alloc: PowerAllocation,
+) -> Result<NodeOperatingPoint> {
+    let requested = alloc.total();
+    if requested < gpu.min_card_cap {
+        return Err(PbcError::CapOutOfRange {
+            component: gpu.name.clone(),
+            requested,
+            min: gpu.min_card_cap,
+            max: gpu.max_card_cap,
+        });
+    }
+    let card_cap = requested.min(gpu.max_card_cap);
+
+    // The memory allocation buys a clock level (worst-case fit).
+    let mem_level = gpu.mem.level_under_cap(alloc.mem);
+    let weights = demand.normalized_weights();
+
+    // Capped run.
+    let mut t_total = 0.0;
+    let mut points = Vec::with_capacity(demand.phases.len());
+    let mut clocks = Vec::with_capacity(demand.phases.len());
+    for (w, phase) in weights.iter().zip(demand.phases.iter().map(|(_, p)| p)) {
+        let (c, pt) = pick_sm_clock(gpu, phase, mem_level, card_cap, alloc.proc);
+        t_total += w * pt.time;
+        points.push(pt);
+        clocks.push(c);
+    }
+
+    // Unconstrained reference: top clocks, no cap check.
+    let mut t_nom = 0.0;
+    for (w, phase) in weights.iter().zip(demand.phases.iter().map(|(_, p)| p)) {
+        let pt = compose_at(gpu, phase, gpu.sm.top(), gpu.mem.top());
+        t_nom += w * pt.time;
+    }
+
+    // Time-weighted aggregates.
+    let mut sm_power = 0.0;
+    let mut mem_power = 0.0;
+    let mut bw = 0.0;
+    let mut busy = 0.0;
+    for (w, pt) in weights.iter().zip(&points) {
+        let frac = if t_total > 0.0 { w * pt.time / t_total } else { 0.0 };
+        sm_power += frac * pt.sm_power.value();
+        mem_power += frac * pt.mem_power.value();
+        bw += frac * pt.bandwidth.value();
+        busy += frac * pt.busy;
+    }
+    // Dominant phase's clock for the mechanism report.
+    let dominant = weights
+        .iter()
+        .zip(clocks.iter())
+        .zip(points.iter())
+        .max_by(|((wa, _), pa), ((wb, _), pb)| {
+            (*wa * pa.time)
+                .partial_cmp(&(*wb * pb.time))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|((_, &c), _)| c)
+        .unwrap_or(gpu.sm.top());
+
+    let reclaimed = (Watts::new(sm_power) - alloc.proc).max(Watts::ZERO);
+    Ok(NodeOperatingPoint {
+        alloc,
+        perf_rel: if t_total > 0.0 { t_nom / t_total } else { 0.0 },
+        proc_power: Watts::new(sm_power),
+        mem_power: Watts::new(mem_power),
+        work_rate: if t_total > 0.0 { 1.0 / t_total } else { 0.0 },
+        bandwidth: Bandwidth::new(bw),
+        proc_busy: busy,
+        mechanism: MechanismState::Gpu(GpuMechanismState {
+            sm_clock: dominant,
+            mem_level,
+            reclaimed: if gpu.reclaims_unused { reclaimed } else { Watts::ZERO },
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_platform::presets::{titan_v, titan_xp};
+
+    fn xp() -> GpuSpec {
+        titan_xp().gpu().unwrap().clone()
+    }
+
+    fn sgemm_like() -> WorkloadDemand {
+        WorkloadDemand::single(
+            "sgemm",
+            PhaseDemand {
+                compute_efficiency: 0.85,
+                arithmetic_intensity: 40.0,
+                bw_saturation: 0.5,
+                pattern_cost: 1.0,
+                overlap: 0.95,
+                issue_sensitivity: 0.3,
+                act_compute: 1.0,
+                act_stall: 0.3,
+            },
+        )
+    }
+
+    fn stream_like() -> WorkloadDemand {
+        WorkloadDemand::single(
+            "gpu-stream",
+            PhaseDemand {
+                compute_efficiency: 0.12,
+                arithmetic_intensity: 0.08,
+                bw_saturation: 0.95,
+                pattern_cost: 1.0,
+                overlap: 0.9,
+                issue_sensitivity: 0.5,
+                act_compute: 0.7,
+                act_stall: 0.3,
+            },
+        )
+    }
+
+    fn split(total: f64, mem: f64) -> PowerAllocation {
+        PowerAllocation::new(Watts::new(total - mem), Watts::new(mem))
+    }
+
+    #[test]
+    fn rejects_caps_below_hardware_minimum() {
+        let g = xp();
+        let err = solve_gpu(&g, &sgemm_like(), split(80.0, 30.0)).unwrap_err();
+        assert!(matches!(err, PbcError::CapOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unconstrained_perf_is_one() {
+        let g = xp();
+        // "Unconstrained" means the *best* allocation at the max cap: lean
+        // memory for the compute-bound kernel (the reclaiming governor
+        // makes over-allocating memory cost SM headroom), generous memory
+        // for the bandwidth-bound one.
+        let sgemm = solve_gpu(&g, &sgemm_like(), split(300.0, 25.0)).unwrap();
+        assert!(sgemm.perf_rel > 0.999, "sgemm: {}", sgemm.perf_rel);
+        let stream = solve_gpu(&g, &stream_like(), split(300.0, 75.0)).unwrap();
+        assert!(stream.perf_rel > 0.999, "stream: {}", stream.perf_rel);
+    }
+
+    #[test]
+    fn total_power_respects_card_cap() {
+        let g = xp();
+        for w in [sgemm_like(), stream_like()] {
+            for total in [130.0, 140.0, 180.0, 220.0, 260.0, 300.0] {
+                for mem_frac in [0.1, 0.2, 0.3, 0.4] {
+                    let alloc = split(total, total * mem_frac);
+                    let op = solve_gpu(&g, &w, alloc).unwrap();
+                    assert!(
+                        op.total_power().value() <= total + 1e-6,
+                        "{} cap {total} mem {} -> {}",
+                        w.name,
+                        total * mem_frac,
+                        op.total_power()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reclamation_feeds_sm_from_unused_mem_budget() {
+        // SGEMM barely touches memory: a lavish memory allocation must not
+        // hurt much, because the governor reclaims what memory doesn't draw.
+        let g = xp();
+        let lavish_mem = solve_gpu(&g, &sgemm_like(), split(200.0, 70.0)).unwrap();
+        let lean_mem = solve_gpu(&g, &sgemm_like(), split(200.0, 25.0)).unwrap();
+        // The lean allocation selects a lower memory clock, whose lower
+        // idle draw leaves more headroom: lean should be at least as good.
+        assert!(lean_mem.perf_rel >= lavish_mem.perf_rel - 1e-9);
+        // But reclamation keeps the lavish case close (within 15%), unlike
+        // an unreclaimed host where the gap would be the full mem surplus.
+        assert!(lavish_mem.perf_rel > 0.85 * lean_mem.perf_rel);
+    }
+
+    #[test]
+    fn stream_perf_scales_with_mem_level() {
+        let g = xp();
+        // Generous total; memory allocation decides the level.
+        let low = solve_gpu(&g, &stream_like(), split(250.0, 25.0)).unwrap();
+        let high = solve_gpu(&g, &stream_like(), split(250.0, 70.0)).unwrap();
+        assert!(
+            high.perf_rel > low.perf_rel * 1.2,
+            "memory-bound perf must grow with the mem level: {} vs {}",
+            high.perf_rel,
+            low.perf_rel
+        );
+    }
+
+    #[test]
+    fn sgemm_demands_more_than_the_max_cap() {
+        // Paper §4: on the Titan XP, SGEMM's upper bound keeps rising over
+        // the whole supported cap range (it wants > 300 W).
+        let g = xp();
+        // With the memory at its nominal clock (the Nvidia default), the
+        // kernel's total demand exceeds the 300 W maximum cap.
+        let at_250 = solve_gpu(&g, &sgemm_like(), split(250.0, 75.0)).unwrap();
+        let at_300 = solve_gpu(&g, &sgemm_like(), split(300.0, 75.0)).unwrap();
+        assert!(at_300.perf_rel > at_250.perf_rel + 0.01);
+        assert!(at_300.perf_rel < 1.0, "still below unconstrained at 300 W");
+    }
+
+    #[test]
+    fn no_collapse_at_minimum_card_cap() {
+        // GPU hardware excludes the catastrophic categories: even at the
+        // minimum cap, performance stays a meaningful fraction of peak.
+        let g = xp();
+        for w in [sgemm_like(), stream_like()] {
+            let op = solve_gpu(&g, &w, split(125.0, 25.0)).unwrap();
+            assert!(op.perf_rel > 0.2, "{}: {}", w.name, op.perf_rel);
+        }
+    }
+
+    #[test]
+    fn titan_v_memory_power_range_is_narrow() {
+        let g = titan_v().gpu().unwrap().clone();
+        let low = solve_gpu(&g, &stream_like(), split(250.0, 10.0)).unwrap();
+        let high = solve_gpu(&g, &stream_like(), split(250.0, 40.0)).unwrap();
+        // HBM2's whole exposed range moves bandwidth by at most ~20%.
+        assert!(high.perf_rel / low.perf_rel < 1.35);
+        assert!(high.perf_rel >= low.perf_rel - 1e-9);
+    }
+
+    #[test]
+    fn oversized_total_clamps_to_max_cap() {
+        let g = xp();
+        let a = solve_gpu(&g, &sgemm_like(), split(400.0, 60.0)).unwrap();
+        let b = solve_gpu(&g, &sgemm_like(), split(300.0, 60.0)).unwrap();
+        assert!((a.perf_rel - b.perf_rel).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reporting_reclaimed_watts() {
+        let g = xp();
+        // Give the SMs a deliberately tiny share; the governor reclaims
+        // from the memory allocation and the report says by how much.
+        let op = solve_gpu(&g, &sgemm_like(), split(250.0, 200.0)).unwrap();
+        match op.mechanism {
+            MechanismState::Gpu(st) => {
+                assert!(st.reclaimed.value() > 0.0, "expected reclaimed watts");
+            }
+            _ => panic!("expected GPU mechanism"),
+        }
+    }
+
+    #[test]
+    fn multiphase_gpu_workload() {
+        let g = xp();
+        let mixed = WorkloadDemand::phased(
+            "cloverleaf-like",
+            vec![
+                (0.5, sgemm_like().phases[0].1),
+                (0.5, stream_like().phases[0].1),
+            ],
+        );
+        let op = solve_gpu(&g, &mixed, split(300.0, 70.0)).unwrap();
+        assert!(op.perf_rel > 0.999);
+        let capped = solve_gpu(&g, &mixed, split(140.0, 40.0)).unwrap();
+        assert!(capped.perf_rel < op.perf_rel);
+        assert!(capped.perf_rel > 0.2);
+    }
+}

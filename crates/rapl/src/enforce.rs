@@ -1,0 +1,188 @@
+//! Applying a cross-component allocation to real RAPL domains.
+//!
+//! The bridge from a coordination decision (`PowerAllocation`, produced by
+//! COORD / the online coordinator / the oracle) to hardware: the processor
+//! share is divided evenly across package domains (the paper's assumption
+//! (b)) and the memory share across DRAM subdomains (assumption (c)).
+//!
+//! [`enforce`] is transactional in spirit: it validates every target
+//! domain first and reports per-domain results, so a permissions failure
+//! on one socket doesn't leave the caller guessing what was applied.
+
+use crate::{DomainKind, RaplDomain, RaplSysfs};
+use pbc_types::{PbcError, PowerAllocation, Result, Watts};
+
+/// What was programmed into one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedCap {
+    /// Domain name (e.g. `"package-0"`).
+    pub domain: String,
+    /// Domain kind.
+    pub kind: DomainKind,
+    /// The limit written.
+    pub limit: Watts,
+}
+
+/// Divide an allocation across the discovered domains and program the
+/// constraint-0 power limits. Returns one entry per domain written.
+///
+/// Errors with [`PbcError::BackendUnavailable`] when the topology lacks
+/// package or DRAM domains, and with [`PbcError::Io`] on the first write
+/// failure (typically permissions — writing powercap limits needs root).
+pub fn enforce(rapl: &RaplSysfs, alloc: PowerAllocation) -> Result<Vec<AppliedCap>> {
+    if !alloc.is_valid() || alloc.proc.value() <= 0.0 || alloc.mem.value() <= 0.0 {
+        return Err(PbcError::InvalidInput(format!(
+            "allocation must be strictly positive, got {alloc}"
+        )));
+    }
+    let packages: Vec<&RaplDomain> = rapl.packages().collect();
+    let drams: Vec<&RaplDomain> = rapl.dram().collect();
+    if packages.is_empty() {
+        return Err(PbcError::BackendUnavailable(
+            "no package domains discovered".into(),
+        ));
+    }
+    if drams.is_empty() {
+        return Err(PbcError::BackendUnavailable(
+            "no DRAM domains discovered".into(),
+        ));
+    }
+    let per_pkg = alloc.proc / packages.len() as f64;
+    let per_dram = alloc.mem / drams.len() as f64;
+
+    let mut applied = Vec::with_capacity(packages.len() + drams.len());
+    for d in packages {
+        d.set_power_limit(per_pkg)?;
+        applied.push(AppliedCap {
+            domain: d.name.clone(),
+            kind: d.kind,
+            limit: per_pkg,
+        });
+    }
+    for d in drams {
+        d.set_power_limit(per_dram)?;
+        applied.push(AppliedCap {
+            domain: d.name.clone(),
+            kind: d.kind,
+            limit: per_dram,
+        });
+    }
+    Ok(applied)
+}
+
+/// Read back the currently programmed limits as an aggregate allocation
+/// (the inverse of [`enforce`]): sum of package limits and sum of DRAM
+/// limits.
+pub fn current_allocation(rapl: &RaplSysfs) -> Result<PowerAllocation> {
+    let mut proc = Watts::ZERO;
+    let mut mem = Watts::ZERO;
+    let mut saw_pkg = false;
+    let mut saw_dram = false;
+    for d in &rapl.domains {
+        match d.kind {
+            DomainKind::Package => {
+                proc += d.power_limit()?;
+                saw_pkg = true;
+            }
+            DomainKind::Dram => {
+                mem += d.power_limit()?;
+                saw_dram = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_pkg || !saw_dram {
+        return Err(PbcError::BackendUnavailable(
+            "topology lacks package or DRAM domains".into(),
+        ));
+    }
+    Ok(PowerAllocation::new(proc, mem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    fn fixture(root: &Path, with_dram: bool) {
+        let dirs: Vec<(&str, &str)> = if with_dram {
+            vec![
+                ("intel-rapl:0", "package-0"),
+                ("intel-rapl:0:0", "dram"),
+                ("intel-rapl:1", "package-1"),
+                ("intel-rapl:1:0", "dram"),
+            ]
+        } else {
+            vec![("intel-rapl:0", "package-0")]
+        };
+        for (dir, name) in dirs {
+            let d = root.join(dir);
+            fs::create_dir_all(&d).unwrap();
+            fs::write(d.join("name"), format!("{name}\n")).unwrap();
+            fs::write(d.join("energy_uj"), "1\n").unwrap();
+            fs::write(d.join("max_energy_range_uj"), "262143328850\n").unwrap();
+            fs::write(d.join("constraint_0_power_limit_uw"), "115000000\n").unwrap();
+            fs::write(d.join("constraint_0_time_window_us"), "976\n").unwrap();
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pbc-enforce-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn enforce_divides_across_domains() {
+        let root = tmpdir("divide");
+        fixture(&root, true);
+        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        let applied = enforce(
+            &rapl,
+            PowerAllocation::new(Watts::new(110.0), Watts::new(84.0)),
+        )
+        .unwrap();
+        assert_eq!(applied.len(), 4);
+        // Two packages at 55 W each, two DRAM domains at 42 W each.
+        let pkg: Vec<_> = applied.iter().filter(|a| a.kind == DomainKind::Package).collect();
+        assert_eq!(pkg.len(), 2);
+        for a in pkg {
+            assert!((a.limit.value() - 55.0).abs() < 1e-9);
+        }
+        for a in applied.iter().filter(|a| a.kind == DomainKind::Dram) {
+            assert!((a.limit.value() - 42.0).abs() < 1e-9);
+        }
+        // And the files actually changed; the aggregate reads back.
+        let back = current_allocation(&rapl).unwrap();
+        assert!((back.proc.value() - 110.0).abs() < 1e-6);
+        assert!((back.mem.value() - 84.0).abs() < 1e-6);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn enforce_requires_both_domain_kinds() {
+        let root = tmpdir("nodram");
+        fixture(&root, false);
+        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        let err = enforce(
+            &rapl,
+            PowerAllocation::new(Watts::new(100.0), Watts::new(50.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PbcError::BackendUnavailable(_)));
+        assert!(current_allocation(&rapl).is_err());
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn enforce_rejects_degenerate_allocations() {
+        let root = tmpdir("degenerate");
+        fixture(&root, true);
+        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        assert!(enforce(&rapl, PowerAllocation::new(Watts::ZERO, Watts::new(50.0))).is_err());
+        assert!(enforce(&rapl, PowerAllocation::new(Watts::new(-5.0), Watts::new(50.0))).is_err());
+        fs::remove_dir_all(root).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared error type for the workspace.
+
+use crate::units::Watts;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PbcError>;
+
+/// Errors surfaced by the power-bounded-computing library.
+///
+/// The taxonomy deliberately mirrors the situations the paper calls out:
+/// budgets too small to run productively (COORD's "Warning: budget too
+/// small"), allocations outside a component's cappable range, and hardware
+/// backends that are absent on the current machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbcError {
+    /// The total budget is below the productive threshold
+    /// `P_cpu,L2 + P_mem,L2` — COORD refuses to schedule the job (§5.1).
+    BudgetTooSmall {
+        /// The budget that was requested.
+        requested: Watts,
+        /// The minimum productive budget for this workload/platform.
+        minimum: Watts,
+    },
+    /// A cap was requested outside the component's cappable range.
+    CapOutOfRange {
+        /// Human-readable component name.
+        component: String,
+        /// The requested cap.
+        requested: Watts,
+        /// Lowest cap the component accepts.
+        min: Watts,
+        /// Highest cap the component accepts.
+        max: Watts,
+    },
+    /// The allocation violates the total power bound.
+    BudgetExceeded {
+        /// Sum of the component caps.
+        allocated: Watts,
+        /// The bound that was violated.
+        bound: Watts,
+    },
+    /// A hardware backend (e.g. sysfs RAPL) is not available on this
+    /// machine.
+    BackendUnavailable(String),
+    /// An I/O error from a hardware backend, flattened to a string so the
+    /// error type stays `Clone + PartialEq`.
+    Io(String),
+    /// Input data was malformed (e.g. an empty profile handed to the
+    /// scenario classifier).
+    InvalidInput(String),
+    /// A named platform, workload, or experiment was not found.
+    NotFound(String),
+}
+
+impl fmt::Display for PbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbcError::BudgetTooSmall { requested, minimum } => write!(
+                f,
+                "power budget too small: {requested} requested but at least {minimum} \
+                 is needed to operate productively"
+            ),
+            PbcError::CapOutOfRange {
+                component,
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "cap {requested} on {component} is outside the cappable range [{min}, {max}]"
+            ),
+            PbcError::BudgetExceeded { allocated, bound } => {
+                write!(f, "allocation totals {allocated}, exceeding the bound {bound}")
+            }
+            PbcError::BackendUnavailable(what) => write!(f, "backend unavailable: {what}"),
+            PbcError::Io(msg) => write!(f, "I/O error: {msg}"),
+            PbcError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            PbcError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PbcError {}
+
+impl From<std::io::Error> for PbcError {
+    fn from(e: std::io::Error) -> Self {
+        PbcError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_quantities() {
+        let e = PbcError::BudgetTooSmall {
+            requested: Watts::new(60.0),
+            minimum: Watts::new(96.0),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("60.00 W"));
+        assert!(msg.contains("96.00 W"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
+        let e: PbcError = io.into();
+        assert!(matches!(e, PbcError::Io(_)));
+        assert!(e.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = PbcError::BackendUnavailable("rapl".into());
+        let b = PbcError::BackendUnavailable("rapl".into());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Iterative radix-2 complex FFT (NPB FT's core pattern).
+//!
+//! Decimation-in-time with a bit-reversal permutation followed by log₂(n)
+//! butterfly passes. Batched: `config.threads` transforms run in parallel,
+//! one per thread, mirroring FT's independent pencil transforms.
+
+use super::{KernelConfig, KernelResult};
+use pbc_types::{PerfMetric, PerfUnit, Seconds};
+use std::time::Instant;
+
+/// In-place radix-2 FFT over interleaved (re, im) pairs.
+fn fft_inplace(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    // Bit-reversal permutation.
+    let bits = n.ilog2();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cr = 1.0;
+            let mut ci = 0.0;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Run batched FFTs; `config.size` is the transform length (rounded to a
+/// power of two). Reports GFLOP/s using the 5·n·log₂(n) convention.
+pub fn run(config: &KernelConfig) -> KernelResult {
+    let n = config.size.max(256).next_power_of_two();
+    let batch = config.threads.max(1);
+
+    let make = |t: usize| -> (Vec<f64>, Vec<f64>) {
+        let re = (0..n).map(|i| ((i * (t + 3)) % 17) as f64 * 0.1).collect();
+        let im = vec![0.0; n];
+        (re, im)
+    };
+
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for _ in 0..config.iterations.max(1) {
+        let results: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..batch)
+                .map(|t| {
+                    s.spawn(move || {
+                        let (mut re, mut im) = make(t);
+                        fft_inplace(&mut re, &mut im);
+                        re[1] + im[1] + re[n / 2]
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        checksum = results.iter().sum();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let iters = config.iterations.max(1) as f64;
+    let transforms = batch as f64 * iters;
+    let flops = 5.0 * n as f64 * (n as f64).log2() * transforms;
+    // Each pass streams the whole array: log2(n) passes of 16 B/point r+w.
+    let bytes = (n as f64) * 32.0 * (n as f64).log2() * transforms;
+    KernelResult {
+        rate: PerfMetric::new(flops / 1e9 / elapsed, PerfUnit::Gflops),
+        gflops_done: flops / 1e9,
+        gb_moved: bytes / 1e9,
+        elapsed: Seconds::new(elapsed),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 64;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let n = 128;
+        let mut re = vec![1.0; n];
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im);
+        assert!((re[0] - n as f64).abs() < 1e-9);
+        for i in 1..n {
+            assert!(re[i].abs() < 1e-9, "bin {i} = {}", re[i]);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone() {
+        // cos(2πk·x/n) concentrates at bins k and n-k with weight n/2.
+        let n = 256;
+        let k = 5;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im);
+        assert!((re[k] - n as f64 / 2.0).abs() < 1e-6);
+        assert!((re[n - k] - n as f64 / 2.0).abs() < 1e-6);
+        assert!(re[k + 1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn runs_with_metrics() {
+        let r = run(&KernelConfig {
+            size: 1 << 12,
+            threads: 2,
+            iterations: 1,
+        });
+        assert!(r.rate.rate > 0.0);
+        // FT-class intensity: modest, between streaming and GEMM.
+        let ai = r.intensity();
+        assert!((0.05..=2.0).contains(&ai), "AI {ai}");
+    }
+}

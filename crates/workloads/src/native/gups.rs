@@ -1,0 +1,109 @@
+//! GUPS / RandomAccess: XOR-updates at pseudo-random table locations.
+//!
+//! The HPCC RandomAccess pattern: a large table of 64-bit words updated at
+//! addresses drawn from an LCG stream. Each update is a dependent
+//! read-modify-write to a random line — the latency-bound, row-buffer-
+//! hostile pattern the paper's SRA benchmark exercises. Parallelized by
+//! giving each thread its own disjoint table partition and update stream
+//! (the "star" variant, like HPCC's SRA).
+
+use super::{chunk_ranges, KernelConfig, KernelResult};
+use pbc_types::{PerfMetric, PerfUnit, Seconds};
+use std::time::Instant;
+
+/// Run GUPS; `config.size` is the table length in 64-bit words (rounded
+/// down to a power of two). Reports GUP/s.
+pub fn run(config: &KernelConfig) -> KernelResult {
+    let bits = (config.size.max(1024)).ilog2();
+    let n = 1usize << bits;
+    let updates_per_thread = (n * 4).max(1);
+    let threads = config.threads.max(1);
+
+    let mut table: Vec<u64> = (0..n as u64).collect();
+    let ranges = chunk_ranges(n, threads);
+
+    let start = Instant::now();
+    for iter in 0..config.iterations.max(1) {
+        std::thread::scope(|s| {
+            let mut rest = table.as_mut_slice();
+            for (t, r) in ranges.iter().enumerate() {
+                let (part, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let seed = (0x9E3779B97F4A7C15u64)
+                    .wrapping_mul(t as u64 + 1)
+                    .wrapping_add(iter as u64);
+                let updates = updates_per_thread / threads;
+                s.spawn(move || {
+                    let mask = (part.len().max(1) - 1) as u64;
+                    let mut x = seed | 1;
+                    for _ in 0..updates {
+                        // xorshift64* stream
+                        x ^= x >> 12;
+                        x ^= x << 25;
+                        x ^= x >> 27;
+                        let v = x.wrapping_mul(0x2545F4914F6CDD1D);
+                        let idx = (v & mask) as usize;
+                        part[idx] ^= v;
+                    }
+                });
+            }
+        });
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let iters = config.iterations.max(1) as f64;
+    let total_updates = (updates_per_thread / threads * threads) as f64 * iters;
+    // Each update reads and writes a 64-byte line.
+    let bytes = total_updates * 128.0;
+    let checksum = table.iter().fold(0u64, |a, &b| a ^ b) as f64;
+
+    KernelResult {
+        rate: PerfMetric::new(total_updates / 1e9 / elapsed, PerfUnit::Gups),
+        gflops_done: total_updates / 1e9, // one logical op per update
+        gb_moved: bytes / 1e9,
+        elapsed: Seconds::new(elapsed),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_mutates_the_table() {
+        let r = run(&KernelConfig {
+            size: 1 << 12,
+            threads: 2,
+            iterations: 1,
+        });
+        assert!(r.rate.rate > 0.0);
+        assert_eq!(r.rate.unit, PerfUnit::Gups);
+        // The untouched table XORs to a fixed value; updates change it
+        // with overwhelming probability.
+        let n = 1u64 << 12;
+        let untouched = (0..n).fold(0u64, |a, b| a ^ b) as f64;
+        assert_ne!(r.checksum, untouched);
+    }
+
+    #[test]
+    fn is_deterministic_for_fixed_config() {
+        let cfg = KernelConfig {
+            size: 1 << 12,
+            threads: 3,
+            iterations: 2,
+        };
+        assert_eq!(run(&cfg).checksum, run(&cfg).checksum);
+    }
+
+    #[test]
+    fn measures_as_memory_dominated() {
+        let r = run(&KernelConfig {
+            size: 1 << 14,
+            threads: 1,
+            iterations: 1,
+        });
+        // One op per 128 bytes: intensity far below any machine balance.
+        assert!(r.intensity() < 0.05, "AI {}", r.intensity());
+    }
+}

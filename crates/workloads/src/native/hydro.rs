@@ -1,0 +1,218 @@
+//! A Cloverleaf-like compressible-hydro step on a 2D staggered grid.
+//!
+//! The "in between" compute/memory pattern of the paper's GPU suite: per
+//! cell, an ideal-gas equation of state, artificial viscosity, and a PdV
+//! energy/density update — enough arithmetic per byte to sit between
+//! STREAM and GEMM, with structured neighbour access.
+
+use super::{chunk_ranges, KernelConfig, KernelResult};
+use pbc_types::{PerfMetric, PerfUnit, Seconds};
+use std::time::Instant;
+
+/// Cell-centred state.
+struct State {
+    density: Vec<f64>,
+    energy: Vec<f64>,
+    pressure: Vec<f64>,
+    viscosity: Vec<f64>,
+    nx: usize,
+    ny: usize,
+}
+
+impl State {
+    fn new(nx: usize, ny: usize) -> Self {
+        let n = nx * ny;
+        State {
+            density: (0..n).map(|i| 1.0 + 0.1 * ((i % 7) as f64)).collect(),
+            energy: (0..n).map(|i| 2.5 + 0.05 * ((i % 5) as f64)).collect(),
+            pressure: vec![0.0; n],
+            viscosity: vec![0.0; n],
+            nx,
+            ny,
+        }
+    }
+}
+
+const GAMMA: f64 = 1.4;
+
+/// Ideal-gas EOS: p = (γ−1)·ρ·e, plus sound speed for the viscosity term.
+/// 5 FLOPs per cell, streaming.
+fn eos(state: &mut State, threads: usize) {
+    let ranges = chunk_ranges(state.density.len(), threads);
+    std::thread::scope(|s| {
+        let mut rest = state.pressure.as_mut_slice();
+        for r in ranges {
+            let (band, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let rho = &state.density[r.clone()];
+            let e = &state.energy[r];
+            s.spawn(move || {
+                for ((p, &d), &en) in band.iter_mut().zip(rho).zip(e) {
+                    *p = (GAMMA - 1.0) * d * en;
+                }
+            });
+        }
+    });
+}
+
+/// Artificial viscosity from pressure gradients (neighbour stencil).
+fn viscosity(state: &mut State, threads: usize) {
+    let nx = state.nx;
+    let ny = state.ny;
+    let ranges = chunk_ranges(ny, threads);
+    std::thread::scope(|s| {
+        let mut rest = state.viscosity.as_mut_slice();
+        let p = &state.pressure;
+        for r in ranges {
+            let (band, tail) = rest.split_at_mut(r.len() * nx);
+            rest = tail;
+            let y0 = r.start;
+            s.spawn(move || {
+                for (yi, y) in (y0..y0 + band.len() / nx).enumerate() {
+                    for x in 0..nx {
+                        let i = y * nx + x;
+                        let local = yi * nx + x;
+                        let interior = x > 0 && x + 1 < nx && y > 0 && y + 1 < ny;
+                        band[local] = if interior {
+                            let dpx = p[i + 1] - p[i - 1];
+                            let dpy = p[i + nx] - p[i - nx];
+                            0.25 * (dpx * dpx + dpy * dpy).sqrt()
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// PdV update: density and energy advance with a fixed pseudo-divergence.
+fn pdv(state: &mut State, dt: f64, threads: usize) {
+    let ranges = chunk_ranges(state.density.len(), threads);
+    std::thread::scope(|s| {
+        let mut rest_d = state.density.as_mut_slice();
+        let mut rest_e = state.energy.as_mut_slice();
+        for r in ranges {
+            let (band_d, tail_d) = rest_d.split_at_mut(r.len());
+            rest_d = tail_d;
+            let (band_e, tail_e) = rest_e.split_at_mut(r.len());
+            rest_e = tail_e;
+            let cell0 = r.start;
+            let p = &state.pressure[r.clone()];
+            let q = &state.viscosity[r];
+            s.spawn(move || {
+                for i in 0..band_d.len() {
+                    // The pseudo-divergence depends on the *global* cell
+                    // index so the result is independent of how the grid
+                    // is chunked across threads.
+                    let div = 1e-3 * (1.0 + 0.1 * (((cell0 + i) % 3) as f64));
+                    let work = (p[i] + q[i]) * div * dt;
+                    band_e[i] = (band_e[i] - work / band_d[i].max(1e-12)).max(1e-6);
+                    band_d[i] = (band_d[i] * (1.0 - div * dt)).max(1e-6);
+                }
+            });
+        }
+    });
+}
+
+/// Run hydro steps; `config.size` is the total cell count (rounded to a
+/// square grid). Reports GFLOP/s.
+pub fn run(config: &KernelConfig) -> KernelResult {
+    let side = (config.size.max(256) as f64).sqrt() as usize;
+    let mut state = State::new(side, side);
+    let steps = 4 * config.iterations.max(1);
+    let start = Instant::now();
+    for _ in 0..steps {
+        eos(&mut state, config.threads);
+        viscosity(&mut state, config.threads);
+        pdv(&mut state, 0.01, config.threads);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let cells = (side * side) as f64;
+    // Per step per cell: EOS 3, viscosity ~8, PdV ~8 FLOPs.
+    let flops = 19.0 * cells * steps as f64;
+    // Traffic: 4 fields read+written-ish per step.
+    let bytes = 6.0 * 8.0 * cells * steps as f64;
+    let checksum: f64 = state
+        .energy
+        .iter()
+        .step_by((state.energy.len() / 101).max(1))
+        .sum();
+    KernelResult {
+        rate: PerfMetric::new(flops / 1e9 / elapsed, PerfUnit::Gflops),
+        gflops_done: flops / 1e9,
+        gb_moved: bytes / 1e9,
+        elapsed: Seconds::new(elapsed),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eos_is_ideal_gas() {
+        let mut s = State::new(8, 8);
+        s.density.fill(2.0);
+        s.energy.fill(3.0);
+        eos(&mut s, 3);
+        for &p in &s.pressure {
+            assert!((p - (GAMMA - 1.0) * 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_pressure_has_zero_viscosity() {
+        let mut s = State::new(10, 10);
+        s.pressure.fill(5.0);
+        viscosity(&mut s, 2);
+        assert!(s.viscosity.iter().all(|&q| q == 0.0));
+    }
+
+    #[test]
+    fn pdv_conserves_positivity() {
+        let mut s = State::new(12, 12);
+        eos(&mut s, 2);
+        viscosity(&mut s, 2);
+        for _ in 0..100 {
+            pdv(&mut s, 0.05, 2);
+        }
+        assert!(s.density.iter().all(|&d| d > 0.0));
+        assert!(s.energy.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn energy_decreases_under_expansion() {
+        // Positive divergence does PdV work against the gas: internal
+        // energy must fall step over step.
+        let mut s = State::new(16, 16);
+        let e0: f64 = s.energy.iter().sum();
+        eos(&mut s, 2);
+        viscosity(&mut s, 2);
+        pdv(&mut s, 0.01, 2);
+        let e1: f64 = s.energy.iter().sum();
+        assert!(e1 < e0);
+    }
+
+    #[test]
+    fn runs_with_in_between_intensity() {
+        let r = run(&KernelConfig {
+            size: 64 * 64,
+            threads: 2,
+            iterations: 1,
+        });
+        assert!(r.rate.rate > 0.0);
+        // Between STREAM (~0.08) and GEMM (>5): the Cloverleaf class.
+        let ai = r.intensity();
+        assert!((0.1..=2.0).contains(&ai), "AI {ai}");
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let c1 = run(&KernelConfig { size: 1024, threads: 1, iterations: 1 });
+        let c4 = run(&KernelConfig { size: 1024, threads: 4, iterations: 1 });
+        assert!((c1.checksum - c4.checksum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! STREAM triad: `a[i] = b[i] + s * c[i]`.
+//!
+//! The canonical bandwidth benchmark (McCalpin). Traffic per element is
+//! three doubles (two reads, one write; write-allocate traffic is ignored,
+//! matching how STREAM itself counts).
+
+use super::{chunk_ranges, KernelConfig, KernelResult};
+use pbc_types::{PerfMetric, PerfUnit, Seconds};
+use std::time::Instant;
+
+/// Run the triad kernel and report achieved GB/s.
+pub fn run(config: &KernelConfig) -> KernelResult {
+    let n = config.size.max(1);
+    let scalar = 3.0f64;
+    let b = vec![1.5f64; n];
+    let c = vec![0.5f64; n];
+    let mut a = vec![0.0f64; n];
+
+    // Warm-up pass (page faults, caches).
+    triad_pass(&mut a, &b, &c, scalar, config.threads);
+
+    let start = Instant::now();
+    for _ in 0..config.iterations.max(1) {
+        triad_pass(&mut a, &b, &c, scalar, config.threads);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let iters = config.iterations.max(1) as f64;
+    let bytes = 3.0 * 8.0 * n as f64 * iters;
+    let flops = 2.0 * n as f64 * iters; // one multiply + one add per element
+    let gb = bytes / 1e9;
+    let checksum: f64 = a.iter().step_by((n / 97).max(1)).sum();
+
+    KernelResult {
+        rate: PerfMetric::new(gb / elapsed, PerfUnit::GBps),
+        gflops_done: flops / 1e9,
+        gb_moved: gb,
+        elapsed: Seconds::new(elapsed),
+        checksum,
+    }
+}
+
+fn triad_pass(a: &mut [f64], b: &[f64], c: &[f64], scalar: f64, threads: usize) {
+    let ranges = chunk_ranges(a.len(), threads);
+    if ranges.len() <= 1 {
+        for i in 0..a.len() {
+            a[i] = b[i] + scalar * c[i];
+        }
+        return;
+    }
+    // Split the output into disjoint chunks; scoped threads keep borrows
+    // safe with zero copies.
+    std::thread::scope(|s| {
+        let mut rest = a;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let b = &b[r.clone()];
+            let c = &c[r];
+            s.spawn(move || {
+                for i in 0..chunk.len() {
+                    chunk[i] = b[i] + scalar * c[i];
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_the_right_values() {
+        let cfg = KernelConfig {
+            size: 1000,
+            threads: 4,
+            iterations: 1,
+        };
+        let r = run(&cfg);
+        // a[i] = 1.5 + 3*0.5 = 3.0 for every element; the checksum samples
+        // every ~10th element.
+        let samples = 1000usize.div_ceil(10);
+        assert!((r.checksum - 3.0 * samples as f64).abs() < 1e-9, "{}", r.checksum);
+    }
+
+    #[test]
+    fn reports_positive_bandwidth() {
+        let r = run(&KernelConfig {
+            size: 1 << 14,
+            threads: 2,
+            iterations: 2,
+        });
+        assert!(r.rate.rate > 0.0);
+        assert_eq!(r.rate.unit, PerfUnit::GBps);
+        assert!(r.gb_moved > 0.0);
+        // Triad is memory-bound by construction.
+        assert!(r.intensity() < 0.1);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let cfg1 = KernelConfig {
+            size: 4096,
+            threads: 1,
+            iterations: 1,
+        };
+        let cfg4 = KernelConfig {
+            size: 4096,
+            threads: 4,
+            iterations: 1,
+        };
+        assert_eq!(run(&cfg1).checksum, run(&cfg4).checksum);
+    }
+}

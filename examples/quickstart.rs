@@ -1,0 +1,68 @@
+//! Quickstart: profile a workload, coordinate a power budget, evaluate.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use power_bounded_computing::prelude::*;
+
+fn main() -> Result<()> {
+    // The machine: a 2-socket IvyBridge node with 256 GB DDR3 — the
+    // paper's CPU Platform I. (Describe your own with `CpuSpec`/`DramSpec`.)
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+
+    // The workload: HPCC RandomAccess from the built-in Table-3 suite.
+    let sra = by_name("sra").unwrap();
+    println!("workload: {} ({})\n", sra.id, sra.description);
+
+    // Step 1 — lightweight profiling: the seven critical power values that
+    // mark where RAPL switches capping mechanisms for this workload.
+    let criticals = CriticalPowers::probe(cpu, dram, &sra.demand);
+    println!("critical powers:");
+    println!("  P_cpu L1..L4 = {:.1}, {:.1}, {:.1}, {:.1}",
+        criticals.cpu_l1.value(), criticals.cpu_l2.value(),
+        criticals.cpu_l3.value(), criticals.cpu_l4.value());
+    println!("  P_mem L1..L3 = {:.1}, {:.1}, {:.1}",
+        criticals.mem_l1.value(), criticals.mem_l2.value(), criticals.mem_l3.value());
+    println!("  productive threshold = {}", criticals.productive_threshold());
+    println!("  max useful budget    = {}\n", criticals.max_demand());
+
+    // Step 2 — coordinate budgets across the CPU and DRAM with COORD
+    // (Algorithm 1) and evaluate each decision on the node model.
+    println!("{:>8}  {:>18}  {:>10}  {:>12}  status", "P_b (W)", "allocation", "perf", "actual (W)");
+    for budget in [140.0, 170.0, 208.0, 240.0, 280.0] {
+        match coord_cpu(Watts::new(budget), &criticals) {
+            Ok(decision) => {
+                let op = solve(&platform, &sra.demand, decision.alloc)?;
+                let status = match decision.status {
+                    CoordStatus::Success => "ok".to_string(),
+                    CoordStatus::Surplus(s) => format!("surplus {s:.0} to reclaim"),
+                };
+                println!(
+                    "{budget:>8.0}  {:>18}  {:>10.3}  {:>12.1}  {status}",
+                    format!("({:.0}, {:.0})", decision.alloc.proc.value(), decision.alloc.mem.value()),
+                    op.perf_rel,
+                    op.total_power().value(),
+                );
+            }
+            Err(e) => println!("{budget:>8.0}  {e}"),
+        }
+    }
+
+    // Step 3 — compare with the exhaustive sweep oracle at one budget.
+    let problem = PowerBoundedProblem::new(platform.clone(), sra.demand.clone(), Watts::new(208.0))?;
+    let best = oracle(&problem, DEFAULT_STEP)?;
+    let decision = coord_cpu(Watts::new(208.0), &criticals)?;
+    let coord_op = solve(&platform, &sra.demand, decision.alloc)?;
+    println!(
+        "\nat 208 W: oracle {} -> perf {:.3}; COORD {} -> perf {:.3} ({:.1}% of oracle)",
+        best.alloc,
+        best.op.perf_rel,
+        decision.alloc,
+        coord_op.perf_rel,
+        100.0 * coord_op.perf_rel / best.op.perf_rel
+    );
+    Ok(())
+}
