@@ -9,50 +9,45 @@
 //!   steppings (what the paper's sweep experiments did);
 //! * `gpu_profile_params` + `gpu_coord_decision` — the Algorithm-2 path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pbc_bench::ivy_problem;
+use pbc_bench::{ivy_problem, Bench};
 use pbc_core::{coord_cpu, coord_gpu, oracle, CriticalPowers, GpuCoordParams};
 use pbc_platform::presets::{ivybridge, titan_xp};
 use pbc_types::Watts;
 use pbc_workloads::by_name;
 use std::hint::black_box;
 
-fn bench_coordination(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env();
     let platform = ivybridge();
     let cpu = platform.cpu().unwrap().clone();
     let dram = platform.dram().unwrap().clone();
     let sra = by_name("sra").unwrap();
 
-    c.bench_function("probe_criticals", |b| {
-        b.iter(|| CriticalPowers::probe(black_box(&cpu), black_box(&dram), black_box(&sra.demand)))
+    bench.run("probe_criticals", || {
+        CriticalPowers::probe(black_box(&cpu), black_box(&dram), black_box(&sra.demand))
     });
 
     let criticals = CriticalPowers::probe(&cpu, &dram, &sra.demand);
-    c.bench_function("coord_decision", |b| {
-        b.iter(|| coord_cpu(black_box(Watts::new(208.0)), black_box(&criticals)).unwrap())
+    bench.run("coord_decision", || {
+        coord_cpu(black_box(Watts::new(208.0)), black_box(&criticals)).unwrap()
     });
 
-    let mut group = c.benchmark_group("oracle_sweep");
-    group.sample_size(10);
     for step in [8.0, 4.0, 2.0] {
-        group.bench_function(format!("step_{step}W"), |b| {
-            let problem = ivy_problem("sra", 208.0);
-            b.iter(|| oracle(black_box(&problem), Watts::new(step)).unwrap())
+        let problem = ivy_problem("sra", 208.0);
+        bench.run(&format!("oracle_sweep/step_{step}W"), || {
+            oracle(black_box(&problem), Watts::new(step)).unwrap()
         });
     }
-    group.finish();
 
     let gplatform = titan_xp();
     let gpu = gplatform.gpu().unwrap().clone();
     let sgemm = by_name("sgemm").unwrap();
-    c.bench_function("gpu_profile_params", |b| {
-        b.iter(|| GpuCoordParams::profile(black_box(&gpu), black_box(&sgemm.demand)).unwrap())
+    bench.run("gpu_profile_params", || {
+        GpuCoordParams::profile(black_box(&gpu), black_box(&sgemm.demand)).unwrap()
     });
     let params = GpuCoordParams::profile(&gpu, &sgemm.demand).unwrap();
-    c.bench_function("gpu_coord_decision", |b| {
-        b.iter(|| coord_gpu(black_box(Watts::new(200.0)), &gpu, black_box(&params)).unwrap())
+    bench.run("gpu_coord_decision", || {
+        coord_gpu(black_box(Watts::new(200.0)), &gpu, black_box(&params)).unwrap()
     });
+    bench.finish();
 }
-
-criterion_group!(benches, bench_coordination);
-criterion_main!(benches);

@@ -2,24 +2,17 @@
 //! regenerate, with a shape assertion so the bench run doubles as a
 //! reproduction smoke test.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pbc_bench::Bench;
 use std::hint::black_box;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    // Figure regeneration involves full sweeps; keep sampling light.
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::from_env();
     for name in pbc_experiments::EXPERIMENTS {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = pbc_experiments::run(black_box(name)).expect("experiment runs");
-                assert!(!out.tables.is_empty(), "{name} produced no tables");
-                out
-            })
+        bench.run(&format!("figures/{name}"), || {
+            let out = pbc_experiments::run(black_box(name)).expect("experiment runs");
+            assert!(!out.tables.is_empty(), "{name} produced no tables");
+            out
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -1,39 +1,35 @@
 //! The native kernels on the host: measured rates ground the workload
 //! models (and this is what profiling a new machine costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pbc_bench::Bench;
 use pbc_workloads::native::{dgemm, fft, gups, isort, spmv, stencil, triad, KernelConfig};
 use std::hint::black_box;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::from_env();
     let cfg = KernelConfig {
         size: 1 << 16,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         iterations: 1,
     };
-    group.bench_function("triad_64k", |b| b.iter(|| triad::run(black_box(&cfg))));
-    group.bench_function("gups_64k", |b| b.iter(|| gups::run(black_box(&cfg))));
-    group.bench_function("isort_64k", |b| b.iter(|| isort::run(black_box(&cfg))));
-    group.bench_function("dgemm_128", |b| {
+    bench.run("native/triad_64k", || triad::run(black_box(&cfg)));
+    bench.run("native/gups_64k", || gups::run(black_box(&cfg)));
+    bench.run("native/isort_64k", || isort::run(black_box(&cfg)));
+    {
         let cfg = KernelConfig { size: 128, ..cfg };
-        b.iter(|| dgemm::run(black_box(&cfg)))
-    });
-    group.bench_function("spmv_16k", |b| {
+        bench.run("native/dgemm_128", || dgemm::run(black_box(&cfg)));
+    }
+    {
         let cfg = KernelConfig { size: 1 << 14, ..cfg };
-        b.iter(|| spmv::run(black_box(&cfg)))
-    });
-    group.bench_function("fft_16k", |b| {
+        bench.run("native/spmv_16k", || spmv::run(black_box(&cfg)));
+    }
+    {
         let cfg = KernelConfig { size: 1 << 14, ..cfg };
-        b.iter(|| fft::run(black_box(&cfg)))
-    });
-    group.bench_function("stencil_32c", |b| {
+        bench.run("native/fft_16k", || fft::run(black_box(&cfg)));
+    }
+    {
         let cfg = KernelConfig { size: 32 * 32 * 32, ..cfg };
-        b.iter(|| stencil::run(black_box(&cfg)))
-    });
-    group.finish();
+        bench.run("native/stencil_32c", || stencil::run(black_box(&cfg)));
+    }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

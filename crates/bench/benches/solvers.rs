@@ -1,75 +1,61 @@
 //! Substrate throughput: the steady-state solvers (one evaluation = one
 //! sweep point) and the discrete-time engine (cost per simulated second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pbc_bench::Bench;
 use pbc_platform::presets::{ivybridge, titan_xp};
 use pbc_powersim::{simulate_cpu, solve_cpu, solve_gpu, SimConfig};
 use pbc_types::{PowerAllocation, Seconds, Watts};
 use pbc_workloads::by_name;
 use std::hint::black_box;
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env();
     let platform = ivybridge();
     let cpu = platform.cpu().unwrap().clone();
     let dram = platform.dram().unwrap().clone();
 
-    let mut group = c.benchmark_group("solve_cpu");
-    for bench in ["sra", "dgemm", "bt"] {
-        let demand = by_name(bench).unwrap().demand;
-        group.bench_function(bench, |b| {
-            b.iter(|| {
-                solve_cpu(
-                    &cpu,
-                    &dram,
-                    black_box(&demand),
-                    PowerAllocation::new(Watts::new(110.0), Watts::new(98.0)),
-                )
-            })
+    for name in ["sra", "dgemm", "bt"] {
+        let demand = by_name(name).unwrap().demand;
+        bench.run(&format!("solve_cpu/{name}"), || {
+            solve_cpu(
+                &cpu,
+                &dram,
+                black_box(&demand),
+                PowerAllocation::new(Watts::new(110.0), Watts::new(98.0)),
+            )
         });
     }
-    group.finish();
 
     let gplatform = titan_xp();
     let gpu = gplatform.gpu().unwrap().clone();
-    let mut group = c.benchmark_group("solve_gpu");
-    for bench in ["sgemm", "minife"] {
-        let demand = by_name(bench).unwrap().demand;
-        group.bench_function(bench, |b| {
-            b.iter(|| {
-                solve_gpu(
-                    &gpu,
-                    black_box(&demand),
-                    PowerAllocation::new(Watts::new(160.0), Watts::new(40.0)),
-                )
-                .unwrap()
-            })
+    for name in ["sgemm", "minife"] {
+        let demand = by_name(name).unwrap().demand;
+        bench.run(&format!("solve_gpu/{name}"), || {
+            solve_gpu(
+                &gpu,
+                black_box(&demand),
+                PowerAllocation::new(Watts::new(160.0), Watts::new(40.0)),
+            )
+            .unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
     let stream = by_name("stream").unwrap().demand;
-    group.bench_function("simulate_cpu_1s", |b| {
-        let cfg = SimConfig {
-            dt: Seconds::new(0.001),
-            duration: Seconds::new(1.0),
-            window: 8,
-            thermal: None,
-            sample_stride: 1000,
-        };
-        b.iter(|| {
-            simulate_cpu(
-                &cpu,
-                &dram,
-                black_box(&stream),
-                PowerAllocation::new(Watts::new(100.0), Watts::new(80.0)),
-                &cfg,
-            )
-        })
+    let cfg = SimConfig {
+        dt: Seconds::new(0.001),
+        duration: Seconds::new(1.0),
+        window: 8,
+        thermal: None,
+        sample_stride: 1000,
+    };
+    bench.run("engine/simulate_cpu_1s", || {
+        simulate_cpu(
+            &cpu,
+            &dram,
+            black_box(&stream),
+            PowerAllocation::new(Watts::new(100.0), Watts::new(80.0)),
+            &cfg,
+        )
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

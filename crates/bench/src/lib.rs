@@ -1,7 +1,8 @@
 //! # pbc-bench
 //!
-//! Criterion benchmarks for the reproduction, one target per paper
-//! artifact plus the design-choice ablations DESIGN.md calls out:
+//! Benchmarks for the reproduction (on the dependency-free [`harness`]
+//! module), one target per paper artifact plus the design-choice
+//! ablations DESIGN.md calls out:
 //!
 //! * `figures` — regeneration cost of each table/figure (`fig1`–`fig9`,
 //!   `table1`–`table3`), with shape assertions on the results so a bench
@@ -14,6 +15,10 @@
 //! * `native_kernels` — the runnable kernels on the host machine.
 //!
 //! Run with `cargo bench --workspace`.
+
+pub mod harness;
+
+pub use harness::Bench;
 
 /// Shared helper: a standard IvyBridge problem for benches.
 pub fn ivy_problem(bench: &str, budget: f64) -> pbc_core::PowerBoundedProblem {

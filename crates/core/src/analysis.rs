@@ -8,10 +8,10 @@ use crate::scenario::{classify_cpu_point, CpuScenario};
 use crate::sweep::sweep_budget;
 use pbc_powersim::solve;
 use pbc_types::{Domain, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// One point of a `perf_max ~ P_b` curve (Fig. 2 / Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CurvePoint {
     /// The total budget.
     pub budget: Watts,
@@ -105,7 +105,8 @@ pub fn critical_component(
 
 /// A row of the paper's Table 1: for a budget regime, which scenarios are
 /// valid, where the optimum sits, and which component is critical.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table1Row {
     /// The representative budget evaluated.
     pub budget: Watts,
@@ -128,7 +129,9 @@ pub fn table1(
     let dram = problem_template
         .platform
         .dram()
-        .expect("table1 is a CPU-platform analysis")
+        .ok_or_else(|| {
+            pbc_types::PbcError::InvalidInput("table1 is a CPU-platform analysis".into())
+        })?
         .clone();
     let pattern_cost = problem_template
         .workload
@@ -178,7 +181,8 @@ pub fn table1(
 
 /// One point of the Fig. 5 balance view: component capacities (best rate
 /// the cap could buy) and utilizations (achieved over capacity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BalancePoint {
     /// The allocation examined.
     pub alloc: PowerAllocation,

@@ -7,11 +7,11 @@ use crate::profile::SweepPoint;
 use crate::sweep::sweep_budget;
 use pbc_platform::GpuSpec;
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The allocation policies evaluated in the paper's Fig. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Baseline {
     /// The paper's COORD heuristic (Algorithm 1 / 2).
     Coord,

@@ -21,10 +21,10 @@ use crate::critical::CriticalPowers;
 use pbc_platform::GpuSpec;
 use pbc_powersim::{solve_gpu, uncapped_demand, WorkloadDemand};
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Outcome status of a COORD decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CoordStatus {
     /// The budget was allocated normally.
     Success,
@@ -34,7 +34,8 @@ pub enum CoordStatus {
 }
 
 /// A COORD allocation decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoordResult {
     /// The chosen allocation.
     pub alloc: PowerAllocation,
@@ -99,7 +100,8 @@ pub fn coord_cpu(budget: Watts, c: &CriticalPowers) -> Result<CoordResult> {
 }
 
 /// The per-application and per-card parameters Algorithm 2 consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuCoordParams {
     /// `P_tot_max`: total card power with no cap imposed (the
     /// application's maximum demand). A value close to the hardware

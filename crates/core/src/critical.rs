@@ -24,11 +24,11 @@ use crate::profile::SweepProfile;
 use pbc_platform::{CpuSpec, DramSpec};
 use pbc_powersim::{solve_cpu, MechanismState, WorkloadDemand};
 use pbc_types::{PowerAllocation, Watts};
-use serde::{Deserialize, Serialize};
 
 /// The seven §5.1 critical power values for one workload on one host
 /// platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CriticalPowers {
     /// `P_cpu,L1`: maximum processor power demand.
     pub cpu_l1: Watts,

@@ -17,10 +17,10 @@ use crate::critical::CriticalPowers;
 use crate::problem::PowerBoundedProblem;
 use crate::sweep::sweep_budget;
 use pbc_types::{Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Efficiency of the *best* allocation at one budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EfficiencyPoint {
     /// The budget examined.
     pub budget: Watts,
@@ -66,7 +66,8 @@ pub fn efficiency_curve(
 }
 
 /// Why a budget is (un)acceptable, per the paper's scheduling guidance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BudgetVerdict {
     /// Below the productive threshold: reject, or merge the watts into a
     /// running job / return them upstream.
@@ -80,7 +81,8 @@ pub enum BudgetVerdict {
 
 /// The §2.1-RQ4 acceptable band for a workload, straight from its critical
 /// power values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AcceptableRange {
     /// Lower edge: the productive threshold `L2c + L2m`.
     pub min: Watts,

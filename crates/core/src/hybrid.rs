@@ -16,7 +16,6 @@ use crate::critical::CriticalPowers;
 use pbc_platform::{CpuSpec, DramSpec, GpuSpec};
 use pbc_powersim::{solve_cpu, solve_gpu, WorkloadDemand};
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// An offload-style hybrid workload.
 #[derive(Debug, Clone)]
@@ -57,7 +56,8 @@ impl HybridWorkload {
 }
 
 /// The hybrid node's operating point for one host/card budget split.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HybridPoint {
     /// Budget given to the host (CPU + DRAM together).
     pub host_budget: Watts,

@@ -21,11 +21,11 @@
 
 use crate::critical::CriticalPowers;
 use pbc_types::{PowerAllocation, Watts};
-use serde::{Deserialize, Serialize};
 
 /// How strongly the workload's throughput follows each component —
 /// derived from where its critical values sit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PiecewiseModel {
     criticals: CriticalPowers,
     /// Fraction of performance governed by the processor side (0 = pure

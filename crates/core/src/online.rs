@@ -19,10 +19,10 @@
 
 use pbc_powersim::NodeOperatingPoint;
 use pbc_types::{PowerAllocation, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for the online coordinator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OnlineConfig {
     /// Watts moved per accepted step.
     pub step: Watts,

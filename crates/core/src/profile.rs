@@ -7,10 +7,10 @@
 use pbc_platform::PlatformId;
 use pbc_powersim::NodeOperatingPoint;
 use pbc_types::{PowerAllocation, Watts};
-use serde::{Deserialize, Serialize};
 
 /// One allocation's outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// The allocation applied.
     pub alloc: PowerAllocation,
@@ -19,7 +19,8 @@ pub struct SweepPoint {
 }
 
 /// A full sweep over the allocation space at one total budget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepProfile {
     /// Platform swept on.
     pub platform: PlatformId,
@@ -36,14 +37,14 @@ impl SweepProfile {
     pub fn best(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .max_by(|a, b| a.op.perf_rel.partial_cmp(&b.op.perf_rel).unwrap())
+            .max_by(|a, b| a.op.perf_rel.total_cmp(&b.op.perf_rel))
     }
 
     /// The worst-performing point, if any.
     pub fn worst(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .min_by(|a, b| a.op.perf_rel.partial_cmp(&b.op.perf_rel).unwrap())
+            .min_by(|a, b| a.op.perf_rel.total_cmp(&b.op.perf_rel))
     }
 
     /// Best-to-worst performance ratio — the paper's headline spread
@@ -67,7 +68,7 @@ impl SweepProfile {
         self.points.iter().min_by(|a, b| {
             let da = (a.alloc.proc - alloc.proc).abs().value();
             let db = (b.alloc.proc - alloc.proc).abs().value();
-            da.partial_cmp(&db).unwrap()
+            da.total_cmp(&db)
         })
     }
 

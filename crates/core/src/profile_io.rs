@@ -113,7 +113,7 @@ pub fn from_csv(text: &str) -> Result<SweepProfile> {
             "cpu" => MechanismState::Cpu(CpuMechanismState {
                 pstate: f(9)? as usize,
                 duty: f(10)?,
-                cap_unenforceable: f(11)? != 0.0,
+                cap_unenforceable: !pbc_types::is_zero(f(11)?),
             }),
             "gpu" => MechanismState::Gpu(GpuMechanismState {
                 sm_clock: f(9)? as usize,

@@ -25,7 +25,9 @@ pub fn workload_report(
     let cpu = problem.platform.cpu().ok_or_else(|| {
         pbc_types::PbcError::InvalidInput("workload_report targets CPU platforms".into())
     })?;
-    let dram = problem.platform.dram().expect("CPU platform has DRAM");
+    let dram = problem.platform.dram().ok_or_else(|| {
+        pbc_types::PbcError::InvalidInput("workload_report needs a DRAM spec".into())
+    })?;
     let criticals = CriticalPowers::probe(cpu, dram, &problem.workload);
     let band = AcceptableRange::from_criticals(&criticals);
     let cost = problem

@@ -10,11 +10,11 @@ use crate::profile::SweepProfile;
 use pbc_platform::{DramSpec, GpuSpec};
 use pbc_powersim::{MechanismState, NodeOperatingPoint};
 use pbc_types::Watts;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The six CPU power-allocation scenarios of §3.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CpuScenario {
     /// I — adequate power for both CPUs and memory: both at their highest
     /// state, performance at the workload's maximum, actual powers
@@ -53,7 +53,8 @@ impl fmt::Display for CpuScenario {
 
 /// The three GPU categories of §4 (IV–VI are excluded by the driver's
 /// minimum-cap guard).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GpuCategory {
     /// I — both domains effectively unconstrained: flat performance.
     I,
@@ -89,7 +90,8 @@ pub fn classify_cpu_point(
     pattern_cost: f64,
 ) -> CpuScenario {
     let MechanismState::Cpu(st) = op.mechanism else {
-        panic!("classify_cpu_point called with a GPU operating point");
+        // Type-confusion here is a caller bug, not a runtime condition.
+        panic!("classify_cpu_point called with a GPU operating point"); // pbc-lint: allow(no-unwrap)
     };
     if st.cap_unenforceable {
         return CpuScenario::VI;
@@ -122,7 +124,8 @@ pub fn classify_gpu_point(
     phase_bw_demand: f64,
 ) -> GpuCategory {
     let MechanismState::Gpu(st) = op.mechanism else {
-        panic!("classify_gpu_point called with a CPU operating point");
+        // Type-confusion here is a caller bug, not a runtime condition.
+        panic!("classify_gpu_point called with a CPU operating point"); // pbc-lint: allow(no-unwrap)
     };
     let level_bw = gpu.mem.bandwidth_at(st.mem_level).value();
     if level_bw < phase_bw_demand * 0.999 {

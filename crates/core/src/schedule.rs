@@ -15,10 +15,10 @@ use crate::critical::CriticalPowers;
 use pbc_platform::Platform;
 use pbc_powersim::{solve, WorkloadDemand};
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// A global power budget being handed out and reclaimed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerPool {
     bound: Watts,
     committed: Watts,
@@ -116,7 +116,7 @@ pub fn schedule_jobs(
         .ok_or_else(|| PbcError::InvalidInput("schedule_jobs targets host platforms".into()))?;
     let dram = platform
         .dram()
-        .expect("host platform always has a DRAM spec");
+        .ok_or_else(|| PbcError::InvalidInput("host platform lacks a DRAM spec".into()))?;
     let mut out = Vec::with_capacity(jobs.len());
     for job in jobs {
         let criticals = CriticalPowers::probe(cpu, dram, &job.demand);

@@ -4,7 +4,7 @@
 //! fixed power stepping (the paper notes its experimental sweeps do the
 //! same, which is why the heuristic occasionally beats "the best found in
 //! the experimental dataset"). Evaluations are independent, so the sweep
-//! fans out across threads with `crossbeam::scope`.
+//! fans out across threads with `std::thread::scope`.
 
 use crate::problem::PowerBoundedProblem;
 use crate::profile::{SweepPoint, SweepProfile};
@@ -60,13 +60,13 @@ pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Re
     let mut points: Vec<SweepPoint> = if allocs.is_empty() {
         Vec::new()
     } else {
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = allocs
                 .chunks(chunk.max(1))
                 .map(|batch| {
                     let platform = &problem.platform;
                     let workload = &problem.workload;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         batch
                             .iter()
                             .filter_map(|&alloc| {
@@ -80,13 +80,17 @@ pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Re
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(batch) => batch,
+                    // A panicking worker only loses its batch of points; the
+                    // sweep result stays well-formed.
+                    Err(_) => Vec::new(),
+                })
                 .collect()
         })
-        .expect("crossbeam scope failed")
     };
 
-    points.sort_by(|a, b| a.alloc.proc.partial_cmp(&b.alloc.proc).unwrap());
+    points.sort_by(|a, b| a.alloc.proc.0.total_cmp(&b.alloc.proc.0));
     Ok(SweepProfile {
         platform: problem.platform.id,
         workload: problem.workload.name.clone(),

@@ -208,7 +208,7 @@ pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String
 
 /// Format a float with sensible precision for tables.
 pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
+    if pbc_types::is_zero(v) {
         "0".into()
     } else if v.abs() >= 100.0 {
         format!("{v:.1}")

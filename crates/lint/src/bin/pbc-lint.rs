@@ -1,0 +1,210 @@
+//! Command-line front end for the workspace linter.
+//!
+//! ```text
+//! pbc-lint [--root DIR] [--baseline FILE | --no-baseline]
+//!          [--format human|json] [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (all findings baselined), 1 regressions,
+//! 2 usage or I/O error.
+
+use pbc_lint::{find_workspace_root, lint_workspace, Baseline, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pbc-lint: dependency-free lints for the power-bounded workspace
+
+USAGE:
+    pbc-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR          Workspace root (default: auto-detect via [workspace])
+    --baseline FILE     Baseline file (default: <root>/lint-baseline.toml)
+    --no-baseline       Gate with an empty baseline (report all findings)
+    --format FMT        Output format: human (default) or json
+    --write-baseline    Regenerate the baseline from current findings
+    --list-rules        Print the rule catalog and exit
+    -h, --help          Show this help
+";
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    format: Format,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        no_baseline: false,
+        format: Format::Human,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                ));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a file argument")?,
+                ));
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects human or json, got {:?}",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                };
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    if args.no_baseline && args.baseline.is_some() {
+        return Err("--no-baseline conflicts with --baseline".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for rule in pbc_lint::all_rules() {
+            println!("{:<18} {:<8} {}", rule.id(), rule.severity().label(), rule.description());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml found above the current directory")?
+        }
+    };
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let baseline = if args.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)
+                .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+            // An explicitly-passed baseline must exist; the default path
+            // may simply not be checked in yet.
+            Err(e) if args.baseline.is_some() => {
+                return Err(format!("{}: {e}", baseline_path.display()))
+            }
+            Err(_) => Baseline::default(),
+        }
+    };
+
+    let report = lint_workspace(&root, &baseline)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if args.write_baseline {
+        let text = baseline.regenerate(&report.findings);
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} findings across {} files)",
+            baseline_path.display(),
+            report.findings.len(),
+            report.files_scanned
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    match args.format {
+        Format::Json => print_json(&report),
+        Format::Human => print_human(&report),
+    }
+    Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn print_json(report: &Report) {
+    println!(
+        "{}",
+        pbc_lint::diagnostics::json_report(&report.findings, report.new, report.baselined)
+    );
+}
+
+fn print_human(report: &Report) {
+    // Only findings in regressed buckets are actionable; baselined ones
+    // would be noise on every run.
+    for reg in &report.regressions {
+        for d in report
+            .findings
+            .iter()
+            .filter(|d| d.rule == reg.rule && d.file == reg.file)
+        {
+            println!("{}", d.human());
+        }
+        if reg.allowed > 0 {
+            println!(
+                "  note: {} has {} findings but the baseline allows {}",
+                reg.file, reg.found, reg.allowed
+            );
+        }
+    }
+    for d in &report.notes {
+        println!("{}", d.human());
+    }
+    for (rule, file, found, allowed) in &report.stale {
+        println!(
+            "stale baseline entry: [{rule}] \"{file}\" = {allowed} (now {found}); \
+             run --write-baseline to ratchet down"
+        );
+    }
+    println!(
+        "pbc-lint: {} files, {} findings ({} baselined, {} new)",
+        report.files_scanned,
+        report.findings.len(),
+        report.baselined,
+        report.new
+    );
+    if !report.is_clean() {
+        println!("pbc-lint: FAIL — fix the findings above or discuss a baseline bump in review");
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pbc-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

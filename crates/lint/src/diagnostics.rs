@@ -1,0 +1,160 @@
+//! Findings and their human / machine renderings.
+
+use std::fmt;
+
+/// How severe a finding is. Severity is a property of the rule, not of
+/// the individual finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; never affects the exit code.
+    Note,
+    /// Should be fixed; gated through the baseline ratchet.
+    Warning,
+    /// Must be fixed; gated through the baseline ratchet.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `float-cmp`).
+    pub rule: &'static str,
+    /// Severity inherited from the rule.
+    pub severity: Severity,
+    /// Path relative to the workspace root, with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render in the familiar `severity[rule]: message` + arrow style.
+    #[must_use]
+    pub fn human(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}:{}",
+            self.severity, self.rule, self.message, self.file, self.line, self.col
+        )
+    }
+
+    /// Render as one JSON object.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_string(self.rule),
+            json_string(self.severity.label()),
+            json_string(&self.file),
+            self.line,
+            self.col,
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escape a string for JSON output (the subset we emit: no exotic
+/// control characters survive `format!`, but tabs/quotes/backslashes in
+/// source snippets must round-trip).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a full report in JSON: all findings plus a summary block.
+#[must_use]
+pub fn json_report(diags: &[Diagnostic], new_count: usize, baselined: usize) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::json).collect();
+    format!(
+        "{{\"findings\":[{}],\"summary\":{{\"total\":{},\"new\":{},\"baselined\":{}}}}}",
+        items.join(","),
+        diags.len(),
+        new_count,
+        baselined
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "float-cmp",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 3,
+            message: "exact `==` on \"float\"".into(),
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(
+            diag().human(),
+            "error[float-cmp]: exact `==` on \"float\"\n  --> crates/x/src/lib.rs:7:3"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = diag().json();
+        assert!(j.contains(r#""message":"exact `==` on \"float\"""#), "{j}");
+        assert!(j.contains(r#""line":7"#));
+    }
+
+    #[test]
+    fn json_string_control_chars() {
+        assert_eq!(json_string("a\tb\nc"), r#""a\tb\nc""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_shape() {
+        let r = json_report(&[diag()], 1, 0);
+        assert!(r.starts_with("{\"findings\":["));
+        assert!(r.ends_with("\"summary\":{\"total\":1,\"new\":1,\"baselined\":0}}"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

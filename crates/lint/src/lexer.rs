@@ -1,0 +1,604 @@
+//! A small Rust lexer.
+//!
+//! `pbc-lint` cannot depend on `syn` (the workspace must build with no
+//! external crates), so it carries its own tokenizer. The lexer only
+//! needs to be good enough for line-oriented lint rules: it must never
+//! mistake the *inside* of a string, character, or comment for code,
+//! and it must keep accurate line/column positions. It handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string, raw string (`r"…"`, `r#"…"#`, any `#` depth), byte string,
+//!   and C-string literals, with escape sequences;
+//! * character literals vs. lifetimes (`'a'` vs `'a`);
+//! * numeric literals, including floats, exponents, underscores, and
+//!   type suffixes;
+//! * multi-character operators (`==`, `!=`, `->`, `::`, …), so rules
+//!   can match on whole operators.
+//!
+//! Comments are not tokens; they are collected separately as
+//! [`Comment`]s so rules can honor inline `pbc-lint: allow(...)`
+//! directives.
+
+/// What a token is. Coarse on purpose: rules pattern-match on a few
+/// kinds plus the token text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// String-like literal (string, raw string, byte string, C string).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator or punctuation (`==`, `->`, `{`, `.`); multi-character
+    /// operators are single tokens.
+    Punct,
+}
+
+/// One token with its position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+}
+
+/// A comment's position and text (`//…` including markers, or `/*…*/`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Full text including the comment markers.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (not part of `tokens`).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. The lexer is total: malformed input (say, an
+/// unterminated string) consumes to end of input rather than erroring,
+/// because a linter must degrade gracefully on code mid-edit.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+}
+
+/// Operators that must lex as one token, longest first.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.out.tokens.push(Token { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                '"' => self.string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Identifier, keyword, or a literal with an alphabetic prefix
+    /// (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`).
+    fn ident_or_prefixed_literal(&mut self, line: usize, col: usize) {
+        // Raw/byte/C string prefixes: only when the prefix chars are
+        // immediately followed by a quote or `#`-quote.
+        let prefix: String = {
+            let mut i = 0;
+            let mut p = String::new();
+            while let Some(c) = self.peek(i) {
+                if c.is_alphanumeric() || c == '_' {
+                    p.push(c);
+                    i += 1;
+                    if i > 3 {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            p
+        };
+        let is_str_prefix = matches!(prefix.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+        if is_str_prefix {
+            let after = self.peek(prefix.len());
+            if after == Some('"') || (prefix.contains('r') && after == Some('#')) {
+                for _ in 0..prefix.len() {
+                    self.bump();
+                }
+                self.raw_or_plain_string(prefix.contains('r'), line, col);
+                return;
+            }
+            if prefix == "b" && after == Some('\'') {
+                self.bump(); // 'b'
+                self.char_or_lifetime(line, col);
+                // Re-tag: it was pushed as Char already with position of quote;
+                // position is close enough for diagnostics.
+                return;
+            }
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn raw_or_plain_string(&mut self, raw: bool, line: usize, col: usize) {
+        let start = self.pos;
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                self.bump();
+                hashes += 1;
+            }
+            self.bump(); // opening '"'
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some('"') => {
+                        // Need `hashes` trailing '#' to close.
+                        let mut ok = true;
+                        for i in 0..hashes {
+                            if self.peek(1 + i) != Some('#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        self.bump();
+                        if ok {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                }
+            }
+        } else {
+            self.bump(); // opening '"'
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some('\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    Some('"') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    fn string(&mut self, line: usize, col: usize) {
+        self.raw_or_plain_string(false, line, col);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime). A quote is a char
+    /// literal when it closes within two positions (`'x'`) or starts
+    /// with an escape (`'\n'`); otherwise it is a lifetime.
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        // Lifetime: 'ident not followed by closing quote.
+        if let Some(c1) = self.peek(1) {
+            let is_char = c1 == '\\'
+                || self.peek(2) == Some('\'') && c1 != '\''
+                // `'''` is the char literal for a quote? No — that's
+                // invalid; treat conservatively as char.
+                ;
+            if !is_char && (c1.is_alphabetic() || c1 == '_') {
+                // lifetime: consume quote + ident
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                self.push(TokenKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        // Char literal: quote, (escape | char), quote.
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                // escape body: consume until closing quote (covers \u{..})
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        let mut is_float = false;
+        // Radix prefix?
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part: a '.' followed by a digit (not `1..2` or
+            // `x.method()`).
+            if self.peek(0) == Some('.')
+                && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            {
+                is_float = true;
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.peek(0) == Some('.')
+                && !matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_' || c == '.')
+            {
+                // `1.` trailing-dot float
+                is_float = true;
+                self.bump();
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self.peek(digit_at).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    is_float = true;
+                    self.bump(); // e
+                    if sign {
+                        self.bump();
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (f64, u32, usize, …).
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, text, line, col);
+    }
+
+    fn punct(&mut self, line: usize, col: usize) {
+        // Try multi-char operators first.
+        let rest: String = self.chars[self.pos..(self.pos + 3).min(self.chars.len())]
+            .iter()
+            .collect();
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*op).to_string(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line, col);
+        }
+    }
+}
+
+// Keep a borrow of the source so `Lexer` stays generic-friendly even
+// though positions are computed from the char vector.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lexer(pos {} of {})", self.pos, self.src.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_operators() {
+        let t = kinds("a == b != c -> d::e");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, "==".into()),
+                (TokenKind::Ident, "b".into()),
+                (TokenKind::Punct, "!=".into()),
+                (TokenKind::Ident, "c".into()),
+                (TokenKind::Punct, "->".into()),
+                (TokenKind::Ident, "d".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let t = kinds("1 1.5 1e9 1.0e-3 0xFF 2f64 3usize 1_000.5");
+        let expect = [
+            (TokenKind::Int, "1"),
+            (TokenKind::Float, "1.5"),
+            (TokenKind::Float, "1e9"),
+            (TokenKind::Float, "1.0e-3"),
+            (TokenKind::Int, "0xFF"),
+            (TokenKind::Float, "2f64"),
+            (TokenKind::Int, "3usize"),
+            (TokenKind::Float, "1_000.5"),
+        ];
+        assert_eq!(t.len(), expect.len(), "{t:?}");
+        for ((k, s), (ek, es)) in t.iter().zip(expect) {
+            assert_eq!((*k, s.as_str()), (ek, es));
+        }
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let t = kinds("1.min(2)");
+        assert_eq!(t[0], (TokenKind::Int, "1".into()));
+        assert_eq!(t[1], (TokenKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn range_is_not_float() {
+        let t = kinds("0..10");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Int, "0".into()),
+                (TokenKind::Punct, "..".into()),
+                (TokenKind::Int, "10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "a == b // not a comment";"#);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Str && s.contains("not a comment")));
+        assert!(!t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "=="));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let t = kinds(r#""she said \"hi\"" x"#);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r###"r#"contains "quotes" and == ops"# y"###);
+        assert_eq!(t.len(), 2, "{t:?}");
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let t = kinds(r#"b"bytes" c"cstr" br"rawbytes" z"#);
+        assert_eq!(t.len(), 4, "{t:?}");
+        assert!(t[..3].iter().all(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_collected_with_lines() {
+        let lexed = lex("x\n// allow: something\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).map(|(_, s)| s.clone()).collect();
+        let chars: Vec<_> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, s)| s.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn attributes_tokenize_structurally() {
+        let t = kinds("#[cfg(test)]\nmod tests {}");
+        assert_eq!(t[0], (TokenKind::Punct, "#".into()));
+        assert_eq!(t[1], (TokenKind::Punct, "[".into()));
+        assert_eq!(t[2], (TokenKind::Ident, "cfg".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let lexed = lex("let s = \"oops");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

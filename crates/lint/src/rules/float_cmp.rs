@@ -1,0 +1,147 @@
+//! `float-cmp`: exact `==` / `!=` where a float is clearly involved.
+//!
+//! Power arithmetic in this workspace chains multiply/accumulates, so
+//! exact equality on an `f64` silently misclassifies scenarios (the
+//! bugs fixed at `pbc-types::metrics::ratio`, powersim's phase-weight
+//! validation, and the per-socket share split were all of this shape).
+//! Without type inference the linter flags comparisons where either
+//! operand is a float *literal* — which is exactly the `x == 0.0`
+//! pattern that caused the real bugs — and comparisons whose operand
+//! chain visibly ends in `.value()` or `.0` on a unit newtype.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct FloatCmp;
+
+impl Rule for FloatCmp {
+    fn id(&self) -> &'static str {
+        "float-cmp"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "exact ==/!= on float expressions; use pbc_types::units::{approx_eq, is_zero}"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            if !file.lintable_line(t.line) {
+                continue;
+            }
+            let float_left = i > 0 && toks[i - 1].kind == TokenKind::Float
+                || ends_in_unit_access(toks, i);
+            // Right side: literal, optionally behind unary minus.
+            let float_right = match toks.get(i + 1) {
+                Some(n) if n.kind == TokenKind::Float => true,
+                Some(n) if n.text == "-" => {
+                    matches!(toks.get(i + 2), Some(nn) if nn.kind == TokenKind::Float)
+                }
+                _ => false,
+            };
+            if float_left || float_right {
+                out.push(diag_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "exact `{}` on a float expression; use approx_eq/is_zero \
+                         from pbc_types::units",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Does the expression ending just before token `i` end in `.value()`
+/// or `.0` — the unit-newtype accessors?
+fn ends_in_unit_access(toks: &[crate::lexer::Token], i: usize) -> bool {
+    if i >= 3
+        && toks[i - 1].text == ")"
+        && toks[i - 2].text == "("
+        && toks[i - 3].text == "value"
+        && i >= 4
+        && toks[i - 4].text == "."
+    {
+        return true;
+    }
+    i >= 2 && toks[i - 1].kind == TokenKind::Int && toks[i - 1].text == "0" && toks[i - 2].text == "."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_literal_comparison() {
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", "fn f(w: f64) -> bool { w == 0.0 }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("=="));
+    }
+
+    #[test]
+    fn flags_ne_and_negative_literals() {
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", "fn f(w: f64) -> bool { w != -1.5 }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn flags_value_accessor() {
+        let d = run_rule(
+            &FloatCmp,
+            "crates/x/src/lib.rs",
+            "fn f(w: Watts, v: Watts) -> bool { w.value() == v.value() }",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn flags_newtype_field_zero() {
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", "fn f(w: Watts) -> bool { w.0 == x }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ignores_integer_comparison() {
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", "fn f(n: usize) -> bool { n == 0 }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ignores_test_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(w: f64) -> bool { w == 0.5 }\n}\n";
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "fn f(w: f64) -> bool { w == 0.0 } // pbc-lint: allow(float-cmp)";
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn string_contents_do_not_trigger() {
+        let src = r#"fn f() -> &'static str { "w == 0.0" }"#;
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! `lossy-cast`: `as` casts that can silently drop power/frequency
+//! information.
+//!
+//! The unit newtypes in `pbc-types` wrap `f64`; the moment a value
+//! leaves the newtype via `.value()` or `.0`, an `as` cast to an
+//! integer type truncates (not rounds) and saturates, and a cast to
+//! `f32` quietly halves the mantissa. Both have corrupted power
+//! accounting in systems like this one without ever crashing. The rule
+//! flags an `as <narrower numeric>` whose source expression visibly
+//! involves unit material on the same line: a `.value()` call, a `.0`
+//! field read, or a float literal.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct LossyCast;
+
+/// Integer targets: always lossy from `f64`.
+const INT_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+impl Rule for LossyCast {
+    fn id(&self) -> &'static str {
+        "lossy-cast"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "`as` cast that can drop unit-carrying f64 precision (use round()/try_from)"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "as" || !file.lintable_line(t.line) {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else { continue };
+            let to_int = INT_TARGETS.contains(&target.text.as_str());
+            let to_f32 = target.text == "f32";
+            if !to_int && !to_f32 {
+                continue;
+            }
+            if !unit_material_before(toks, i) {
+                continue;
+            }
+            let loss = if to_int { "truncates and saturates" } else { "loses f64 precision" };
+            out.push(diag_at(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "unit-carrying value cast `as {}` {loss}; round explicitly or keep f64",
+                    target.text
+                ),
+            ));
+        }
+        out
+    }
+}
+
+/// Scan backwards on the same line for evidence the cast source came
+/// from a unit newtype: `.value()`, a `.0` field read, or a float
+/// literal feeding the expression.
+fn unit_material_before(toks: &[crate::lexer::Token], as_idx: usize) -> bool {
+    let line = toks[as_idx].line;
+    let mut j = as_idx;
+    while j > 0 {
+        j -= 1;
+        if toks[j].line != line {
+            return false;
+        }
+        let t = &toks[j];
+        if t.kind == TokenKind::Float {
+            return true;
+        }
+        if t.kind == TokenKind::Int && t.text == "0" && j > 0 && toks[j - 1].text == "." {
+            return true;
+        }
+        if t.kind == TokenKind::Ident
+            && t.text == "value"
+            && j > 0
+            && toks[j - 1].text == "."
+            && matches!(toks.get(j + 1), Some(n) if n.text == "(")
+        {
+            return true;
+        }
+        // Statement boundary: stop scanning past `;` or `=` at depth 0.
+        if t.text == ";" || t.text == "=" {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_value_to_int() {
+        let src = "fn f(w: Watts) -> u64 { (w.value() * 1e6).round() as u64 }";
+        let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("as u64"));
+    }
+
+    #[test]
+    fn flags_newtype_field_to_usize() {
+        let src = "fn f(w: Watts) -> usize { w.0 as usize }";
+        assert_eq!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_float_literal_to_f32() {
+        let src = "fn f(x: f64) -> f32 { (x * 100.0) as f32 }";
+        assert_eq!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_integer_widening() {
+        let src = "fn f(n: u32) -> usize { n as usize }";
+        assert!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ignores_cast_to_f64() {
+        let src = "fn f(n: usize) -> f64 { n as f64 * 2.0 }";
+        assert!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn statement_boundary_stops_the_scan() {
+        let src = "fn f(w: Watts, n: u32) -> usize { let _v = w.value(); n as usize }";
+        assert!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(w: Watts) -> u64 { w.0 as u64 }\n}\n";
+        assert!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

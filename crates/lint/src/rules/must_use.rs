@@ -1,0 +1,167 @@
+//! `missing-must-use`: public functions returning `Result` without a
+//! `#[must_use]` annotation.
+//!
+//! `std::result::Result` is itself `#[must_use]`, so for the std type
+//! this is belt-and-braces; the rule earns its keep on workspace
+//! `Result` aliases and on API-documentation grounds (the attribute
+//! states intent at the definition site). Existing API surface is
+//! grandfathered in the baseline.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct MissingMustUse;
+
+impl Rule for MissingMustUse {
+    fn id(&self) -> &'static str {
+        "missing-must-use"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "public fn returns Result without #[must_use]"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if file.kind != FileKind::Lib {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "pub" || !file.lintable_line(t.line) {
+                continue;
+            }
+            // `pub fn` or `pub(crate) fn` etc. — find the fn keyword.
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("(") {
+                while j < toks.len() && toks[j].text != ")" {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.text.as_str()) != Some("fn") {
+                continue;
+            }
+            let Some(name) = toks.get(j + 1) else { continue };
+            // Return type: scan from the fn to its body `{` (or `;` for
+            // trait methods) and look for `-> … Result`.
+            let mut k = j + 1;
+            let mut returns_result = false;
+            let mut saw_arrow = false;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                let text = toks[k].text.as_str();
+                match text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "->" if depth == 0 => saw_arrow = true,
+                    "{" | ";" if depth == 0 => break,
+                    "where" if depth == 0 => break,
+                    "Result" if saw_arrow => returns_result = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if !returns_result {
+                continue;
+            }
+            if has_must_use_attr(toks, i) {
+                continue;
+            }
+            out.push(diag_at(
+                self.id(),
+                self.severity(),
+                file,
+                name.line,
+                name.col,
+                format!("pub fn `{}` returns Result but is not #[must_use]", name.text),
+            ));
+        }
+        out
+    }
+}
+
+/// Walk attribute groups immediately above token `i` (the `pub`)
+/// looking for `must_use`.
+fn has_must_use_attr(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let mut j = i;
+    while j >= 1 && toks[j - 1].text == "]" {
+        // Find the matching `[` backwards, collecting idents.
+        let mut k = j - 1;
+        let mut depth = 0i32;
+        let mut found = false;
+        while k > 0 {
+            match toks[k].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "must_use" => found = true,
+                _ => {}
+            }
+            k -= 1;
+        }
+        if found {
+            return true;
+        }
+        // Move above this attribute's leading `#`.
+        j = k.saturating_sub(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_pub_fn_returning_result() {
+        let src = "pub fn load(p: &str) -> Result<Profile> { todo() }";
+        let d = run_rule(&MissingMustUse, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("load"));
+    }
+
+    #[test]
+    fn attribute_satisfies_the_rule() {
+        let src = "#[must_use]\npub fn load(p: &str) -> Result<Profile> { todo() }";
+        assert!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).is_empty());
+        let src = "#[must_use = \"handle the error\"]\npub fn f() -> Result<()> { x() }";
+        assert!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_are_searched() {
+        let src = "#[inline]\n#[must_use]\npub fn f() -> Result<()> { x() }";
+        assert!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn private_fns_and_non_result_are_exempt() {
+        let src = "fn internal() -> Result<()> { x() }\npub fn ok() -> usize { 1 }";
+        assert!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn result_in_argument_position_does_not_count() {
+        let src = "pub fn consume(r: Result<(), E>) { drop(r) }";
+        assert!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_fn_counts() {
+        let src = "pub(crate) fn f() -> Result<()> { x() }";
+        assert_eq!(run_rule(&MissingMustUse, "crates/x/src/lib.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! `no-println`: direct stdout/stderr printing from library crates.
+//!
+//! Library output must flow through the report layer (`pbc-core`'s
+//! report module / the experiment output writers) so the CLI and the
+//! experiment harness stay in control of formatting. Binaries
+//! (`src/bin/…`) are exempt — printing is their job.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoPrintln;
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint"];
+
+impl Rule for NoPrintln {
+    fn id(&self) -> &'static str {
+        "no-println"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "print/println/eprint/eprintln in library code; go through the report layer"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if file.kind != FileKind::Lib {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || !PRINT_MACROS.contains(&t.text.as_str())
+                || !file.lintable_line(t.line)
+            {
+                continue;
+            }
+            if !matches!(toks.get(i + 1), Some(n) if n.text == "!") {
+                continue;
+            }
+            out.push(diag_at(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                t.col,
+                format!("`{}!` in library code; route output through the report layer", t.text),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_all_four_macros_in_lib() {
+        let src = "fn f() { println!(\"a\"); print!(\"b\"); eprintln!(\"c\"); eprint!(\"d\"); }";
+        assert_eq!(run_rule(&NoPrintln, "crates/x/src/lib.rs", src).len(), 4);
+    }
+
+    #[test]
+    fn bins_tests_examples_are_exempt() {
+        let src = "fn main() { println!(\"ok\"); }";
+        assert!(run_rule(&NoPrintln, "crates/cli/src/bin/pbc.rs", src).is_empty());
+        assert!(run_rule(&NoPrintln, "tests/t.rs", src).is_empty());
+        assert!(run_rule(&NoPrintln, "examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_in_lib_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(run_rule(&NoPrintln, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ident_named_print_is_not_flagged() {
+        let src = "fn print_report() {}\nfn f(print: bool) -> bool { print }\n";
+        assert!(run_rule(&NoPrintln, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

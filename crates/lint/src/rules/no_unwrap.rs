@@ -1,0 +1,123 @@
+//! `no-unwrap`: `.unwrap()` / `.expect(...)` / `panic!` in non-test
+//! library and binary code.
+//!
+//! The workspace has a typed error layer (`pbc_types::error::PbcError`)
+//! precisely so solver and CLI hot paths fail with actionable messages
+//! instead of aborting. Existing occurrences are grandfathered in
+//! `lint-baseline.toml`, which only ratchets down.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic in non-test code; return pbc_types::error::PbcError instead"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !file.lintable_line(t.line) {
+                continue;
+            }
+            let what = match t.text.as_str() {
+                "unwrap" | "expect" => {
+                    // Require `.name(` so idents named e.g. `expect` in
+                    // other positions don't trip the rule.
+                    let dotted = i > 0 && toks[i - 1].text == ".";
+                    let called = matches!(toks.get(i + 1), Some(n) if n.text == "(");
+                    if dotted && called {
+                        format!(".{}()", t.text)
+                    } else {
+                        continue;
+                    }
+                }
+                "panic" => {
+                    let is_macro = matches!(toks.get(i + 1), Some(n) if n.text == "!");
+                    // `core::panic!` paths count too; definitions like
+                    // `fn panic(...)` do not.
+                    if is_macro {
+                        "panic!".to_string()
+                    } else {
+                        continue;
+                    }
+                }
+                _ => continue,
+            };
+            out.push(diag_at(
+                self.id(),
+                self.severity(),
+                file,
+                t.line,
+                t.col,
+                format!("{what} in non-test code; surface a typed PbcError instead"),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let src = "\
+fn f() {
+    let a = x.unwrap();
+    let b = y.expect(\"msg\");
+    panic!(\"boom\");
+}
+";
+        let d = run_rule(&NoUnwrap, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 3);
+        assert!(d[0].message.contains(".unwrap()"));
+        assert!(d[2].message.contains("panic!"));
+    }
+
+    #[test]
+    fn skips_tests_dir_and_test_regions() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(run_rule(&NoUnwrap, "tests/e2e.rs", src).is_empty());
+        assert!(run_rule(&NoUnwrap, "crates/x/benches/b.rs", src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(run_rule(&NoUnwrap, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bins_are_linted() {
+        let d = run_rule(&NoUnwrap, "crates/cli/src/bin/pbc.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_idents_do_not_trip() {
+        let src = "fn g(expect: usize) -> usize { expect }\nfn unwrap_speed() {}\n";
+        assert!(run_rule(&NoUnwrap, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "// .unwrap() is discussed here\nfn f() -> &'static str { \"panic!\" }\n";
+        assert!(run_rule(&NoUnwrap, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! `wildcard-import`: `use path::*;` outside test code.
+//!
+//! Glob imports hide where names come from and make refactors riskier.
+//! Two idiomatic globs stay legal: `use super::*;` inside `#[cfg(test)]`
+//! modules (exempt because test regions are skipped), and *re-exports*
+//! (`pub use prelude-style globs`), which are deliberate API surface.
+
+use super::{diag_at, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct WildcardImport;
+
+impl Rule for WildcardImport {
+    fn id(&self) -> &'static str {
+        "wildcard-import"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "glob `use path::*` (non-pub, non-test); import names explicitly"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        // Glob preludes in tests/examples are idiomatic; lint only
+        // shipping code.
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "use" || !file.lintable_line(t.line) {
+                continue;
+            }
+            // Skip `pub use` re-exports and `pub(crate) use`.
+            if i > 0 && (toks[i - 1].text == "pub" || toks[i - 1].text == ")") {
+                continue;
+            }
+            // Scan the use item to its `;`, looking for `::*`.
+            let mut j = i + 1;
+            let mut star_at = None;
+            while j < toks.len() && toks[j].text != ";" {
+                if toks[j].text == "*" && j > 0 && toks[j - 1].text == "::" {
+                    star_at = Some(&toks[j]);
+                }
+                j += 1;
+            }
+            if let Some(star) = star_at {
+                out.push(diag_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    star.line,
+                    star.col,
+                    "glob import; name what you use".to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_plain_glob() {
+        let d = run_rule(&WildcardImport, "crates/x/src/lib.rs", "use std::collections::*;\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn pub_use_glob_is_a_reexport() {
+        let src = "pub use crate::prelude::*;\n";
+        assert!(run_rule(&WildcardImport, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn super_glob_in_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  use super::*;\n}\n";
+        assert!(run_rule(&WildcardImport, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn grouped_glob_is_flagged() {
+        let src = "use std::{fmt, collections::*};\n";
+        assert_eq!(run_rule(&WildcardImport, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn tests_and_examples_are_exempt() {
+        let src = "use pbc_types::*;\n";
+        assert!(run_rule(&WildcardImport, "tests/e2e.rs", src).is_empty());
+        assert!(run_rule(&WildcardImport, "examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiplication_is_not_an_import() {
+        let src = "fn f(a: usize, b: usize) -> usize { a * b }\n";
+        assert!(run_rule(&WildcardImport, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

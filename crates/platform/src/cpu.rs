@@ -20,12 +20,12 @@
 
 use crate::pstate::{PState, PStateTable};
 use pbc_types::Watts;
-use serde::{Deserialize, Serialize};
 
 /// Specification of the aggregated CPU component (all sockets together, per
 /// the paper's assumption (b): one power budget evenly distributed over all
 /// cores).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuSpec {
     /// Marketing name, e.g. `"2x Xeon E5-2670v2 (IvyBridge)"`.
     pub name: String,

@@ -28,10 +28,10 @@
 
 use crate::pstate::PStateTable;
 use pbc_types::{Bandwidth, Watts};
-use serde::{Deserialize, Serialize};
 
 /// SM clock domain: a DVFS table plus the power-model coefficients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SmClockTable {
     /// Voltage/frequency points, lowest first; the highest entry is the
     /// stock boost clock.
@@ -79,7 +79,8 @@ impl SmClockTable {
 
 /// Memory clock domain: discrete levels expressed as fractions of the
 /// nominal memory clock. Bandwidth scales linearly with the level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemClockTable {
     /// Clock levels as fractions of nominal, ascending, last = 1.0. The
     /// hardware-exposed offset range is typically narrow (narrower still on
@@ -157,7 +158,8 @@ impl MemClockTable {
 }
 
 /// Specification of a discrete GPU accelerator card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuSpec {
     /// e.g. `"Nvidia Titan XP"`.
     pub name: String,

@@ -5,11 +5,11 @@ use crate::cpu::CpuSpec;
 use crate::dram::DramSpec;
 use crate::gpu::GpuSpec;
 use pbc_types::Watts;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier for the four platforms of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PlatformId {
     /// CPU Platform I: 2× Xeon 10-core IvyBridge, 256 GB DDR3.
     IvyBridge,
@@ -65,7 +65,8 @@ impl fmt::Display for PlatformId {
 
 /// The component composition of a node: either a host (CPU packages +
 /// DRAM) or a discrete GPU card (SMs + global memory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeSpec {
     /// Host node: CPU packages and DRAM, capped independently by RAPL.
     Cpu {
@@ -80,7 +81,8 @@ pub enum NodeSpec {
 }
 
 /// A named platform with its component specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Platform {
     /// Identifier (Table 2 row).
     pub id: PlatformId,

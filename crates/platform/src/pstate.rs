@@ -6,10 +6,10 @@
 //! meet the power limit"), which is what produces the paper's scenario II.
 
 use pbc_types::Hertz;
-use serde::{Deserialize, Serialize};
 
 /// One DVFS operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PState {
     /// Core clock frequency at this operating point.
     pub freq: Hertz,
@@ -42,7 +42,8 @@ impl PState {
 /// An ordered DVFS table, lowest frequency first. The highest entry is the
 /// *nominal* state (turbo is excluded, as in the paper: "We don't consider
 /// the turbo boost state").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PStateTable {
     states: Vec<PState>,
 }

@@ -18,7 +18,6 @@ use crate::demand::WorkloadDemand;
 use crate::sockets::single_socket_spec;
 use pbc_platform::{CpuSpec, DramSpec};
 use pbc_types::{Bandwidth, PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Scale a single-socket-normalized spec to an arbitrary core fraction of
 /// the node.
@@ -40,7 +39,8 @@ fn partition_spec(cpu: &CpuSpec, fraction: f64) -> CpuSpec {
 }
 
 /// The co-run outcome for one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorunPoint {
     /// Per-job relative performance, each normalized to its solo
     /// unconstrained run on *half* the node. The fixed reference makes the

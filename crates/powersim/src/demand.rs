@@ -15,10 +15,10 @@
 //! patterns", §6.2), and the memory-request feedback that slows DRAM
 //! traffic when the processor is throttled (§3.2, scenario IV).
 
-use serde::{Deserialize, Serialize};
 
 /// Demand characteristics of one execution phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhaseDemand {
     /// Fraction of the platform's peak compute rate the phase sustains at
     /// nominal clocks when not memory-stalled (vectorization/ILP/occupancy
@@ -120,7 +120,8 @@ impl PhaseDemand {
 }
 
 /// A workload: named, weighted phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadDemand {
     /// Short name (e.g. `"SRA"`, `"DGEMM"`).
     pub name: String,
@@ -177,7 +178,7 @@ impl WorkloadDemand {
             }
             p.validate().map_err(|e| format!("phase {i}: {e}"))?;
         }
-        if self.phases.iter().all(|(w, _)| *w == 0.0) {
+        if self.phases.iter().all(|(w, _)| pbc_types::is_zero(*w)) {
             return Err("all phase weights are zero".into());
         }
         Ok(())

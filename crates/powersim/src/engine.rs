@@ -26,10 +26,10 @@ use crate::rapl::RaplController;
 use crate::thermal::{ThermalModel, ThermalParams};
 use pbc_platform::{CpuSpec, DramSpec, GpuSpec};
 use pbc_types::{Joules, PowerAllocation, Result, Seconds, Throughput, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimConfig {
     /// Control period (one controller step per tick).
     pub dt: Seconds,
@@ -56,7 +56,8 @@ impl Default for SimConfig {
 }
 
 /// One trace sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimSample {
     /// Simulated time of the sample.
     pub t: Seconds,
@@ -71,7 +72,8 @@ pub struct SimSample {
 }
 
 /// Aggregated result of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimResult {
     /// Decimated trace.
     pub samples: Vec<SimSample>,

@@ -18,7 +18,6 @@ use crate::cpunode::solve_cpu;
 use crate::demand::WorkloadDemand;
 use pbc_platform::{CpuSpec, DramSpec};
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Build the spec of a single socket from an aggregated multi-socket spec
 /// (power coefficients and core counts divide; tables are shared).
@@ -38,7 +37,8 @@ pub fn single_socket_spec(cpu: &CpuSpec) -> CpuSpec {
 }
 
 /// The outcome of running an imbalanced workload under per-socket caps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocketOperatingPoint {
     /// Per-socket caps applied.
     pub socket_caps: Vec<Watts>,
@@ -99,7 +99,7 @@ pub fn solve_per_socket(
     let mut powers = Vec::with_capacity(n);
     let mut mem_power = Watts::ZERO;
     for (i, (&cap, &share)) in socket_caps.iter().zip(&shares).enumerate() {
-        if share == 0.0 {
+        if pbc_types::is_zero(share) {
             // Idle socket: draws its floor, does no work.
             times.push(0.0);
             powers.push(socket.min_active_power);

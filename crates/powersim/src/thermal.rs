@@ -9,10 +9,10 @@
 //! power capping slightly harder at high ambient).
 
 use pbc_types::{Seconds, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the RC node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThermalParams {
     /// Ambient temperature in °C.
     pub ambient_c: f64,
@@ -44,7 +44,8 @@ impl ThermalParams {
 }
 
 /// State of the thermal node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThermalModel {
     params: ThermalParams,
     temperature_c: f64,

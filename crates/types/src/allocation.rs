@@ -7,12 +7,12 @@
 //! enumerates the discrete space `A` that sweeps and oracles explore.
 
 use crate::units::Watts;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A total node-level power budget `P_b` together with the allocation
 /// granularity used when discretizing the space `A`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerBudget {
     /// The total bound `P_b`: the sum of component allocations must not
     /// exceed this.
@@ -51,7 +51,8 @@ impl fmt::Display for PowerBudget {
 /// memory component (DRAM modules or GPU global memory). The semantics of
 /// a cap — what the component actually *does* when bounded — live in
 /// `pbc-powersim`; this type is just the decision variable.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerAllocation {
     /// Cap on the processing component (CPU package(s) / GPU SMs).
     pub proc: Watts,
@@ -128,7 +129,8 @@ impl fmt::Display for PowerAllocation {
 ///
 /// Mirrors the paper's experimental sweeps, which used a fixed power
 /// stepping (§6.3 notes the oracle "uses a certain power stepping").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AllocationSpace {
     /// Total budget being split.
     pub budget: Watts,

@@ -1,13 +1,13 @@
 //! Component identity: what kind of hardware a power cap applies to.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two power domains the paper coordinates across. Every platform has
 /// exactly one processing domain and one memory domain (assumption (a)-(c)
 /// of §2.2: cores and memory modules are each aggregated into one
 /// power-boundable component).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Domain {
     /// The aggregated processing component: CPU packages or GPU SMs.
     Processor,
@@ -36,7 +36,8 @@ impl fmt::Display for Domain {
 
 /// Concrete hardware kinds, refining [`Domain`] with the technology that
 /// determines the power-capping mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ComponentKind {
     /// Host CPU package(s), capped by RAPL's PKG domain
     /// (P-state → T-state → C-state ladder).
@@ -78,7 +79,8 @@ impl fmt::Display for ComponentKind {
 
 /// Identifier for a component instance on a node: its kind plus an index
 /// (e.g. socket 0 / socket 1, or card 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ComponentId {
     /// The hardware kind.
     pub kind: ComponentKind,

@@ -25,10 +25,12 @@ pub mod allocation;
 pub mod component;
 pub mod error;
 pub mod metrics;
+pub mod rng;
 pub mod units;
 
 pub use allocation::{AllocationSpace, PowerAllocation, PowerBudget};
 pub use component::{ComponentId, ComponentKind, Domain};
 pub use error::{PbcError, Result};
 pub use metrics::{Efficiency, PerfMetric, PerfUnit, Throughput};
-pub use units::{Bandwidth, Gflops, Hertz, Joules, Seconds, Watts};
+pub use rng::XorShift64Star;
+pub use units::{approx_eq, is_zero, Bandwidth, Gflops, Hertz, Joules, Seconds, Watts, EPSILON};

@@ -7,11 +7,11 @@
 //! the same profile tables without confusion.
 
 use crate::units::{Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unit a performance rate is expressed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PerfUnit {
     /// Gigabytes per second — bandwidth benchmarks (STREAM).
     GBps,
@@ -39,7 +39,8 @@ impl fmt::Display for PerfUnit {
 }
 
 /// A measured or modeled performance value: a rate and its unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfMetric {
     /// The rate (higher is better). Always finite and non-negative for
     /// values produced by this workspace.
@@ -69,8 +70,8 @@ impl PerfMetric {
     /// Ratio of this metric over `other` (must share a unit).
     pub fn ratio(&self, other: &PerfMetric) -> f64 {
         assert_eq!(self.unit, other.unit, "cannot compare {} with {}", self.unit, other.unit);
-        if other.rate == 0.0 {
-            if self.rate == 0.0 {
+        if crate::units::is_zero(other.rate) {
+            if crate::units::is_zero(self.rate) {
                 1.0
             } else {
                 f64::INFINITY
@@ -100,7 +101,8 @@ impl fmt::Display for PerfMetric {
 }
 
 /// Performance-to-power ratio in `unit` per watt.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Efficiency {
     /// Rate per watt.
     pub value: f64,
@@ -117,7 +119,8 @@ impl fmt::Display for Efficiency {
 /// Aggregate throughput of a run: work completed over wall time, plus the
 /// energy consumed. Produced by the discrete-time simulation engine and by
 /// native kernel runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Throughput {
     /// Abstract work units completed (workload-defined).
     pub work_done: f64,

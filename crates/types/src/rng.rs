@@ -1,0 +1,115 @@
+//! A tiny deterministic PRNG so the workspace needs no external `rand`.
+//!
+//! The generator is xorshift64* (Vigna, "An experimental exploration of
+//! Marsaglia's xorshift generators, scrambled"): a 64-bit xorshift state
+//! followed by a multiplicative scramble. It is not cryptographic — it
+//! exists for randomized tests, synthetic workload traces, and sweep
+//! sampling, where reproducibility from a seed matters far more than
+//! unpredictability.
+
+/// xorshift64* pseudo-random number generator.
+///
+/// ```
+/// use pbc_types::rng::XorShift64Star;
+///
+/// let mut a = XorShift64Star::new(42);
+/// let mut b = XorShift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Create a generator from a seed. A zero seed would freeze the
+    /// xorshift state, so it is remapped to an arbitrary odd constant.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. `lo` must be `<= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `usize` in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = XorShift64Star::new(7);
+        let mut b = XorShift64Star::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = XorShift64Star::new(0);
+        assert_ne!(z.next_u64(), 0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = XorShift64Star::new(123);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = XorShift64Star::new(9);
+        for _ in 0..10_000 {
+            let v = r.range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut r = XorShift64Star::new(99);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never hit: {seen:?}");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = XorShift64Star::new(2026);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

@@ -5,16 +5,42 @@
 //! conversions; the raw value is read back with `.value()` (or `.0` inside
 //! the workspace).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+/// Default tolerance for float comparisons on physical quantities.
+///
+/// Power arithmetic in this workspace chains many multiply/accumulate
+/// steps (phase weighting, per-socket shares, budget subtraction), so
+/// exact `==` on the results is a classification hazard: two watt
+/// values that are "the same" for every physical purpose can differ in
+/// the last few ulps. Everything that needs equality goes through
+/// [`approx_eq`] / [`is_zero`] with this tolerance instead.
+pub const EPSILON: f64 = 1e-9;
+
+/// True when `a` and `b` are equal within [`EPSILON`], absolutely for
+/// small values and relative to the larger magnitude for large ones.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= EPSILON || diff <= EPSILON * a.abs().max(b.abs())
+}
+
+/// True when `v` is within [`EPSILON`] of zero.
+#[inline]
+#[must_use]
+pub fn is_zero(v: f64) -> bool {
+    v.abs() <= EPSILON
+}
+
 macro_rules! unit {
     ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(pub f64);
 
         impl $name {
@@ -68,6 +94,21 @@ macro_rules! unit {
             #[inline]
             pub fn lerp(self, other: Self, t: f64) -> Self {
                 Self(self.0 + t * (other.0 - self.0))
+            }
+
+            /// Equality within [`EPSILON`] (see [`approx_eq`]). Use this
+            /// instead of `==` whenever either side was computed.
+            #[inline]
+            #[must_use]
+            pub fn approx_eq(self, other: Self) -> bool {
+                approx_eq(self.0, other.0)
+            }
+
+            /// True when the value is within [`EPSILON`] of zero.
+            #[inline]
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                is_zero(self.0)
             }
         }
 
@@ -323,6 +364,32 @@ mod tests {
         assert_eq!(a.lerp(b, 0.0), a);
         assert_eq!(a.lerp(b, 1.0), b);
         assert_eq!(a.lerp(b, 0.5).value(), 80.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_accumulated_error() {
+        // 0.1 summed ten times is not exactly 1.0 in binary floating point.
+        let sum: f64 = (0..10).map(|_| 0.1).sum();
+        assert_ne!(sum, 1.0);
+        assert!(approx_eq(sum, 1.0));
+        assert!(Watts::new(sum).approx_eq(Watts::new(1.0)));
+        // Relative tolerance: large values a few ulps apart compare equal.
+        let big = 1.0e12;
+        assert!(approx_eq(big, big * (1.0 + 1e-12)));
+        // But genuinely different values do not.
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(!Watts::new(100.0).approx_eq(Watts::new(100.1)));
+    }
+
+    #[test]
+    fn is_zero_catches_residuals() {
+        let residual = (0.1 + 0.2) - 0.3; // ~5.6e-17, not exactly 0.0
+        assert_ne!(residual, 0.0);
+        assert!(is_zero(residual));
+        assert!(Watts::new(residual).is_zero());
+        assert!(Watts::ZERO.is_zero());
+        assert!(!Watts::new(0.5).is_zero());
+        assert!(!is_zero(1e-6));
     }
 
     #[test]

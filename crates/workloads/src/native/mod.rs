@@ -26,10 +26,10 @@ pub mod triad;
 
 use pbc_powersim::PhaseDemand;
 use pbc_types::{PerfMetric, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// Common kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelConfig {
     /// Problem size (kernel-specific meaning: vector length, matrix
     /// dimension, table entries, grid edge, ...).
@@ -61,7 +61,8 @@ impl KernelConfig {
 }
 
 /// What a kernel run measured.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelResult {
     /// Headline rate in the kernel's natural unit.
     pub rate: PerfMetric,

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Pre-merge gate for the power-bounded workspace. Everything here must
+# pass offline: no network, no registry crates, just the Rust toolchain.
+#
+#   sh scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests (every crate, including the pbc-lint suite)"
+cargo test -q --workspace
+
+echo "==> pbc-lint gate (lint-baseline.toml ratchet)"
+cargo run -q -p pbc-lint -- --format json > target/pbc-lint-report.json
+echo "    report: target/pbc-lint-report.json"
+
+echo "==> dependency audit: workspace must be self-contained"
+# `cargo tree` prints one line per dependency edge; every crate in this
+# workspace is named pbc-* (plus the root facade crate), so any other
+# crate name is a foreign dep.
+if cargo tree --workspace --edges normal,build --prefix none \
+    | awk 'NF {print $1}' | sort -u \
+    | grep -v -e '^pbc-' -e '^power-bounded-computing$'; then
+    echo "error: non-workspace crates in the dependency graph (above)" >&2
+    exit 1
+fi
+
+echo "==> bench smoke (no timing claims, just 'still runs')"
+cargo test -q -p pbc-bench --benches
+
+echo "all checks passed"

@@ -1,0 +1,28 @@
+//! Root-package mirror of the lint gate, so plain `cargo test` at the
+//! workspace root (the tier-1 verify) enforces the baseline ratchet.
+//! The detailed gate — including fixtures of the shipped float bugs —
+//! lives in `crates/lint/tests/lint_gate.rs`.
+
+use pbc_lint::{find_workspace_root, lint_workspace, Baseline};
+
+#[test]
+fn workspace_lints_clean_against_baseline() {
+    let here = std::env::current_dir().expect("cwd");
+    let root = find_workspace_root(&here).expect("workspace root");
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("checked-in lint-baseline.toml");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let report = lint_workspace(&root, &baseline).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "lint regressions vs lint-baseline.toml ({} new finding(s)); \
+         run `cargo run -p pbc-lint` for details: {:?}",
+        report.new,
+        report.regressions
+    );
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries; run `cargo run -p pbc-lint -- --write-baseline`: {:?}",
+        report.stale
+    );
+}

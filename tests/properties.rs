@@ -1,189 +1,228 @@
-//! Property-based tests over the core invariants, using `proptest`.
+//! Property-based tests over the core invariants.
+//!
+//! These were originally written with `proptest`; they now draw their
+//! random cases from the workspace's own deterministic
+//! [`XorShift64Star`] generator so the default test run needs no
+//! external crates. Each test runs a fixed number of seeded cases, so
+//! failures reproduce exactly.
 
 use power_bounded_computing::core::{OnlineConfig, OnlineCoordinator, PiecewiseModel};
 use power_bounded_computing::powersim::{solve_per_socket, MechanismState, PhaseDemand};
 use power_bounded_computing::prelude::*;
-use proptest::prelude::*;
+use power_bounded_computing::types::XorShift64Star;
+
+const CASES: usize = 64;
 
 /// Arbitrary-but-valid phase demand.
-fn arb_phase() -> impl Strategy<Value = PhaseDemand> {
-    (
-        0.05f64..1.0,   // compute_efficiency
-        0.01f64..64.0,  // arithmetic_intensity
-        0.05f64..1.0,   // bw_saturation
-        1.0f64..3.0,    // pattern_cost
-        0.0f64..1.0,    // overlap
-        0.0f64..1.0,    // issue_sensitivity
-        0.1f64..1.0,    // act_compute
-        0.0f64..1.0,    // act_stall
-    )
-        .prop_map(
-            |(eff, ai, sat, cost, ovl, gamma, ac, as_)| PhaseDemand {
-                compute_efficiency: eff,
-                arithmetic_intensity: ai,
-                bw_saturation: sat,
-                pattern_cost: cost,
-                overlap: ovl,
-                issue_sensitivity: gamma,
-                act_compute: ac,
-                act_stall: as_,
-            },
-        )
+fn arb_phase(rng: &mut XorShift64Star) -> PhaseDemand {
+    PhaseDemand {
+        compute_efficiency: rng.range_f64(0.05, 1.0),
+        arithmetic_intensity: rng.range_f64(0.01, 64.0),
+        bw_saturation: rng.range_f64(0.05, 1.0),
+        pattern_cost: rng.range_f64(1.0, 3.0),
+        overlap: rng.range_f64(0.0, 1.0),
+        issue_sensitivity: rng.range_f64(0.0, 1.0),
+        act_compute: rng.range_f64(0.1, 1.0),
+        act_stall: rng.range_f64(0.0, 1.0),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// For any workload and any enforceable allocation, the CPU node's
-    /// actual component draws never exceed their caps (the contract RAPL
-    /// promises above the hardware floors).
-    #[test]
-    fn cpu_caps_enforced_above_floors(
-        phase in arb_phase(),
-        proc_cap in 50.0f64..220.0,
-        mem_cap in 48.0f64..170.0,
-    ) {
-        let platform = ivybridge();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// For any workload and any enforceable allocation, the CPU node's
+/// actual component draws never exceed their caps (the contract RAPL
+/// promises above the hardware floors).
+#[test]
+fn cpu_caps_enforced_above_floors() {
+    let mut rng = XorShift64Star::new(0xC0FFEE01);
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let proc_cap = rng.range_f64(50.0, 220.0);
+        let mem_cap = rng.range_f64(48.0, 170.0);
         let w = WorkloadDemand::single("prop", phase);
-        let op = solve_cpu(cpu, dram, &w, PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)));
-        // Proc side: enforceable whenever the cap is at/above the floor.
-        prop_assert!(op.proc_power.value() <= proc_cap + 1e-6,
-            "proc {} over cap {proc_cap}", op.proc_power);
-        // Mem side: enforceable above background + one throttle step of
-        // this pattern's traffic.
+        let op = solve_cpu(
+            cpu,
+            dram,
+            &w,
+            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)),
+        );
+        assert!(
+            op.proc_power.value() <= proc_cap + 1e-6,
+            "case {case}: proc {} over cap {proc_cap}",
+            op.proc_power
+        );
         let step = dram.max_bandwidth.value() / dram.throttle_levels as f64;
         let mem_floor = dram.background_power.value()
             + dram.transfer_w_per_gbps * step * phase.pattern_cost;
-        prop_assert!(op.mem_power.value() <= mem_cap.max(mem_floor) + 1e-6,
-            "mem {} over cap {mem_cap} (floor {mem_floor})", op.mem_power);
+        assert!(
+            op.mem_power.value() <= mem_cap.max(mem_floor) + 1e-6,
+            "case {case}: mem {} over cap {mem_cap} (floor {mem_floor})",
+            op.mem_power
+        );
     }
+}
 
-    /// Performance is monotone non-decreasing in either cap, all else
-    /// equal.
-    #[test]
-    fn perf_monotone_in_caps(
-        phase in arb_phase(),
-        proc_cap in 52.0f64..200.0,
-        mem_cap in 45.0f64..160.0,
-        bump in 2.0f64..30.0,
-    ) {
-        let platform = ivybridge();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// Performance is monotone non-decreasing in either cap, all else equal.
+#[test]
+fn perf_monotone_in_caps() {
+    let mut rng = XorShift64Star::new(0xC0FFEE02);
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let proc_cap = rng.range_f64(52.0, 200.0);
+        let mem_cap = rng.range_f64(45.0, 160.0);
+        let bump = rng.range_f64(2.0, 30.0);
         let w = WorkloadDemand::single("prop", phase);
-        let base = solve_cpu(cpu, dram, &w,
-            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)));
-        let more_proc = solve_cpu(cpu, dram, &w,
-            PowerAllocation::new(Watts::new(proc_cap + bump), Watts::new(mem_cap)));
-        let more_mem = solve_cpu(cpu, dram, &w,
-            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap + bump)));
-        prop_assert!(more_proc.perf_rel >= base.perf_rel - 1e-9);
-        prop_assert!(more_mem.perf_rel >= base.perf_rel - 1e-9);
+        let base = solve_cpu(
+            cpu,
+            dram,
+            &w,
+            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)),
+        );
+        let more_proc = solve_cpu(
+            cpu,
+            dram,
+            &w,
+            PowerAllocation::new(Watts::new(proc_cap + bump), Watts::new(mem_cap)),
+        );
+        let more_mem = solve_cpu(
+            cpu,
+            dram,
+            &w,
+            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap + bump)),
+        );
+        assert!(more_proc.perf_rel >= base.perf_rel - 1e-9, "case {case}");
+        assert!(more_mem.perf_rel >= base.perf_rel - 1e-9, "case {case}");
     }
+}
 
-    /// perf_rel is always within (0, 1] — normalized to the unconstrained
-    /// run of the same workload.
-    #[test]
-    fn perf_rel_bounded(
-        phase in arb_phase(),
-        proc_cap in 45.0f64..240.0,
-        mem_cap in 30.0f64..200.0,
-    ) {
-        let platform = haswell();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// perf_rel is always within (0, 1] — normalized to the unconstrained
+/// run of the same workload.
+#[test]
+fn perf_rel_bounded() {
+    let mut rng = XorShift64Star::new(0xC0FFEE03);
+    let platform = haswell();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let proc_cap = rng.range_f64(45.0, 240.0);
+        let mem_cap = rng.range_f64(30.0, 200.0);
         let w = WorkloadDemand::single("prop", phase);
-        let op = solve_cpu(cpu, dram, &w,
-            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)));
-        prop_assert!(op.perf_rel > 0.0);
-        prop_assert!(op.perf_rel <= 1.0 + 1e-9, "perf {}", op.perf_rel);
+        let op = solve_cpu(
+            cpu,
+            dram,
+            &w,
+            PowerAllocation::new(Watts::new(proc_cap), Watts::new(mem_cap)),
+        );
+        assert!(op.perf_rel > 0.0, "case {case}");
+        assert!(op.perf_rel <= 1.0 + 1e-9, "case {case}: perf {}", op.perf_rel);
     }
+}
 
-    /// GPU: the card governor always keeps the total under the cap, for
-    /// any workload and any split of any accepted cap.
-    #[test]
-    fn gpu_total_never_exceeds_cap(
-        phase in arb_phase(),
-        cap in 130.0f64..300.0,
-        mem_frac in 0.05f64..0.5,
-    ) {
-        let platform = titan_xp();
-        let gpu = platform.gpu().unwrap();
+/// GPU: the card governor always keeps the total under the cap, for
+/// any workload and any split of any accepted cap.
+#[test]
+fn gpu_total_never_exceeds_cap() {
+    let mut rng = XorShift64Star::new(0xC0FFEE04);
+    let platform = titan_xp();
+    let gpu = platform.gpu().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let cap = rng.range_f64(130.0, 300.0);
+        let mem_frac = rng.range_f64(0.05, 0.5);
         let w = WorkloadDemand::single("prop", phase);
         let alloc = PowerAllocation::split(Watts::new(cap), 1.0 - mem_frac);
         let op = solve_gpu(gpu, &w, alloc).unwrap();
-        prop_assert!(op.total_power().value() <= cap + 1e-6,
-            "total {} over cap {cap}", op.total_power());
-        // And the mechanism is a GPU mechanism with in-range levels.
+        assert!(
+            op.total_power().value() <= cap + 1e-6,
+            "case {case}: total {} over cap {cap}",
+            op.total_power()
+        );
         match op.mechanism {
             MechanismState::Gpu(st) => {
-                prop_assert!(st.sm_clock < gpu.sm.len());
-                prop_assert!(st.mem_level < gpu.mem.len());
+                assert!(st.sm_clock < gpu.sm.len(), "case {case}");
+                assert!(st.mem_level < gpu.mem.len(), "case {case}");
             }
-            _ => prop_assert!(false, "expected GPU mechanism"),
+            _ => panic!("case {case}: expected GPU mechanism"),
         }
     }
+}
 
-    /// COORD's allocation is always valid, within budget, and above the
-    /// component floors when it accepts a budget.
-    #[test]
-    fn coord_allocations_always_valid(
-        phase in arb_phase(),
-        budget in 120.0f64..320.0,
-    ) {
-        let platform = ivybridge();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// COORD's allocation is always valid, within budget, and above the
+/// component floors when it accepts a budget.
+#[test]
+fn coord_allocations_always_valid() {
+    let mut rng = XorShift64Star::new(0xC0FFEE05);
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let budget = rng.range_f64(120.0, 320.0);
         let w = WorkloadDemand::single("prop", phase);
         let criticals = CriticalPowers::probe(cpu, dram, &w);
-        prop_assert!(criticals.is_ordered(), "{criticals:?}");
+        assert!(criticals.is_ordered(), "case {case}: {criticals:?}");
         match coord_cpu(Watts::new(budget), &criticals) {
             Ok(decision) => {
-                prop_assert!(decision.alloc.is_valid());
-                prop_assert!(decision.alloc.total().value() <= budget + 1e-6);
-                prop_assert!(decision.alloc.proc >= criticals.cpu_l2 - Watts::new(1e-6),
-                    "proc below L2: {} vs {}", decision.alloc.proc, criticals.cpu_l2);
-                prop_assert!(decision.alloc.mem >= criticals.mem_l2 - Watts::new(1e-6));
+                assert!(decision.alloc.is_valid(), "case {case}");
+                assert!(decision.alloc.total().value() <= budget + 1e-6, "case {case}");
+                assert!(
+                    decision.alloc.proc >= criticals.cpu_l2 - Watts::new(1e-6),
+                    "case {case}: proc below L2: {} vs {}",
+                    decision.alloc.proc,
+                    criticals.cpu_l2
+                );
+                assert!(
+                    decision.alloc.mem >= criticals.mem_l2 - Watts::new(1e-6),
+                    "case {case}"
+                );
             }
             Err(PbcError::BudgetTooSmall { minimum, .. }) => {
-                prop_assert!(Watts::new(budget) < minimum);
+                assert!(Watts::new(budget) < minimum, "case {case}");
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("case {case}: unexpected error {e}"),
         }
     }
+}
 
-    /// Scenario classification is total: every sweep point of any budget
-    /// gets exactly one category (the function is total by construction —
-    /// this exercises it over random workloads for panics/invariants).
-    #[test]
-    fn classification_is_total(
-        phase in arb_phase(),
-        budget in 150.0f64..280.0,
-    ) {
-        let platform = ivybridge();
+/// Scenario classification is total: every sweep point of any budget
+/// gets exactly one category (the function is total by construction —
+/// this exercises it over random workloads for panics/invariants).
+#[test]
+fn classification_is_total() {
+    let mut rng = XorShift64Star::new(0xC0FFEE06);
+    let platform = ivybridge();
+    for _case in 0..CASES / 4 {
+        let phase = arb_phase(&mut rng);
+        let budget = rng.range_f64(150.0, 280.0);
         let cpu = platform.cpu().unwrap();
         let dram = platform.dram().unwrap().clone();
         let w = WorkloadDemand::single("prop", phase);
         let criticals = CriticalPowers::probe(cpu, &dram, &w);
-        let problem = PowerBoundedProblem::new(platform.clone(), w.clone(), Watts::new(budget)).unwrap();
+        let problem =
+            PowerBoundedProblem::new(platform.clone(), w.clone(), Watts::new(budget)).unwrap();
         let profile = sweep_budget(&problem, Watts::new(8.0)).unwrap();
         for pt in &profile.points {
             let _ = classify_cpu_point(&pt.op, &criticals, &dram, phase.pattern_cost);
         }
     }
+}
 
-    /// Allocation-space iteration always saturates the budget exactly and
-    /// respects the component bounds.
-    #[test]
-    fn allocation_space_invariants(
-        budget in 60.0f64..400.0,
-        lo in 10.0f64..60.0,
-        hi_extra in 1.0f64..300.0,
-        step in 1.0f64..16.0,
-    ) {
-        use power_bounded_computing::types::AllocationSpace;
+/// Allocation-space iteration always saturates the budget exactly and
+/// respects the component bounds.
+#[test]
+fn allocation_space_invariants() {
+    use power_bounded_computing::types::AllocationSpace;
+    let mut rng = XorShift64Star::new(0xC0FFEE07);
+    for case in 0..CASES {
+        let budget = rng.range_f64(60.0, 400.0);
+        let lo = rng.range_f64(10.0, 60.0);
+        let hi_extra = rng.range_f64(1.0, 300.0);
+        let step = rng.range_f64(1.0, 16.0);
         let space = AllocationSpace::new(
             Watts::new(budget),
             (Watts::new(lo), Watts::new(lo + hi_extra)),
@@ -191,53 +230,68 @@ proptest! {
             Watts::new(step),
         );
         for alloc in space.iter() {
-            prop_assert!((alloc.total().value() - budget).abs() < 1e-9);
-            prop_assert!(alloc.proc.value() >= lo - 1e-9);
-            prop_assert!(alloc.proc.value() <= lo + hi_extra + 1e-9);
+            assert!((alloc.total().value() - budget).abs() < 1e-9, "case {case}");
+            assert!(alloc.proc.value() >= lo - 1e-9, "case {case}");
+            assert!(alloc.proc.value() <= lo + hi_extra + 1e-9, "case {case}");
         }
     }
+}
 
-    /// Unit arithmetic: energy bookkeeping is exact over random
-    /// power/time pairs.
-    #[test]
-    fn energy_bookkeeping(p in 0.0f64..1e4, t in 1e-6f64..1e4) {
-        use power_bounded_computing::types::{Seconds, Watts};
+/// Unit arithmetic: energy bookkeeping is exact over random power/time
+/// pairs.
+#[test]
+fn energy_bookkeeping() {
+    use power_bounded_computing::types::{Seconds, Watts};
+    let mut rng = XorShift64Star::new(0xC0FFEE08);
+    for case in 0..CASES * 4 {
+        let p = rng.range_f64(0.0, 1e4);
+        let t = rng.range_f64(1e-6, 1e4);
         let e = Watts::new(p) * Seconds::new(t);
-        prop_assert!((e.value() - p * t).abs() <= 1e-9 * (1.0 + p * t));
+        assert!((e.value() - p * t).abs() <= 1e-9 * (1.0 + p * t), "case {case}");
         let back = e / Seconds::new(t);
-        prop_assert!((back.value() - p).abs() <= 1e-9 * (1.0 + p));
+        assert!((back.value() - p).abs() <= 1e-9 * (1.0 + p), "case {case}");
     }
+}
 
-    /// The piecewise predictor's factors are monotone in their caps and
-    /// its prediction is bounded for any valid workload.
-    #[test]
-    fn piecewise_model_invariants(
-        phase in arb_phase(),
-        cap_a in 30.0f64..250.0,
-        cap_b in 30.0f64..250.0,
-    ) {
-        let platform = ivybridge();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// The piecewise predictor's factors are monotone in their caps and
+/// its prediction is bounded for any valid workload.
+#[test]
+fn piecewise_model_invariants() {
+    let mut rng = XorShift64Star::new(0xC0FFEE09);
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let cap_a = rng.range_f64(30.0, 250.0);
+        let cap_b = rng.range_f64(30.0, 250.0);
         let w = WorkloadDemand::single("prop", phase);
         let c = CriticalPowers::probe(cpu, dram, &w);
         let m = PiecewiseModel::from_criticals(&c, 0.48, 0.125);
         let (lo, hi) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
-        prop_assert!(m.proc_factor(Watts::new(lo)) <= m.proc_factor(Watts::new(hi)) + 1e-12);
-        prop_assert!(m.mem_factor(Watts::new(lo)) <= m.mem_factor(Watts::new(hi)) + 1e-12);
+        assert!(
+            m.proc_factor(Watts::new(lo)) <= m.proc_factor(Watts::new(hi)) + 1e-12,
+            "case {case}"
+        );
+        assert!(
+            m.mem_factor(Watts::new(lo)) <= m.mem_factor(Watts::new(hi)) + 1e-12,
+            "case {case}"
+        );
         let pred = m.predict(PowerAllocation::new(Watts::new(cap_a), Watts::new(cap_b)));
-        prop_assert!((0.0..=1.0).contains(&pred));
+        assert!((0.0..=1.0).contains(&pred), "case {case}: pred {pred}");
     }
+}
 
-    /// The online coordinator never proposes an allocation over budget and
-    /// its best-so-far performance is monotone non-decreasing.
-    #[test]
-    fn online_coordinator_safety(
-        phase in arb_phase(),
-        budget in 140.0f64..280.0,
-        start_frac in 0.15f64..0.85,
-    ) {
-        let platform = ivybridge();
+/// The online coordinator never proposes an allocation over budget and
+/// its best-so-far performance is monotone non-decreasing.
+#[test]
+fn online_coordinator_safety() {
+    let mut rng = XorShift64Star::new(0xC0FFEE0A);
+    let platform = ivybridge();
+    for case in 0..CASES / 2 {
+        let phase = arb_phase(&mut rng);
+        let budget = rng.range_f64(140.0, 280.0);
+        let start_frac = rng.range_f64(0.15, 0.85);
         let w = WorkloadDemand::single("prop", phase);
         let budget_w = Watts::new(budget);
         let mut coord = OnlineCoordinator::new(
@@ -251,60 +305,82 @@ proptest! {
                 break;
             }
             let alloc = coord.next_allocation();
-            prop_assert!(alloc.total().value() <= budget + 1e-6);
+            assert!(alloc.total().value() <= budget + 1e-6, "case {case}");
             let op = solve(&platform, &w, alloc).unwrap();
             coord.observe(&op);
             let now = solve(&platform, &w, coord.best()).unwrap().perf_rel;
-            prop_assert!(now >= best_seen - 1e-9, "best regressed: {now} < {best_seen}");
+            assert!(
+                now >= best_seen - 1e-9,
+                "case {case}: best regressed: {now} < {best_seen}"
+            );
             best_seen = now;
         }
     }
+}
 
-    /// Per-socket solving: swapping both the caps and the shares swaps the
-    /// outcome (symmetry), and total power is conserved against the parts.
-    #[test]
-    fn per_socket_symmetry(
-        phase in arb_phase(),
-        cap_a in 30.0f64..90.0,
-        cap_b in 30.0f64..90.0,
-        share_a in 0.2f64..0.8,
-    ) {
-        let platform = ivybridge();
-        let cpu = platform.cpu().unwrap();
-        let dram = platform.dram().unwrap();
+/// Per-socket solving: swapping both the caps and the shares swaps the
+/// outcome (symmetry), and total power is conserved against the parts.
+#[test]
+fn per_socket_symmetry() {
+    let mut rng = XorShift64Star::new(0xC0FFEE0B);
+    let platform = ivybridge();
+    let cpu = platform.cpu().unwrap();
+    let dram = platform.dram().unwrap();
+    for case in 0..CASES {
+        let phase = arb_phase(&mut rng);
+        let cap_a = rng.range_f64(30.0, 90.0);
+        let cap_b = rng.range_f64(30.0, 90.0);
+        let share_a = rng.range_f64(0.2, 0.8);
         let w = WorkloadDemand::single("prop", phase);
         let fwd = solve_per_socket(
-            cpu, dram, &w,
+            cpu,
+            dram,
+            &w,
             &[Watts::new(cap_a), Watts::new(cap_b)],
             Watts::new(100.0),
             &[share_a, 1.0 - share_a],
-        ).unwrap();
+        )
+        .unwrap();
         let rev = solve_per_socket(
-            cpu, dram, &w,
+            cpu,
+            dram,
+            &w,
             &[Watts::new(cap_b), Watts::new(cap_a)],
             Watts::new(100.0),
             &[1.0 - share_a, share_a],
-        ).unwrap();
-        prop_assert!((fwd.perf_rel - rev.perf_rel).abs() < 1e-9);
-        prop_assert!((fwd.socket_powers[0].value() - rev.socket_powers[1].value()).abs() < 1e-9);
-        prop_assert!((fwd.total_power().value() - rev.total_power().value()).abs() < 1e-9);
+        )
+        .unwrap();
+        assert!((fwd.perf_rel - rev.perf_rel).abs() < 1e-9, "case {case}");
+        assert!(
+            (fwd.socket_powers[0].value() - rev.socket_powers[1].value()).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (fwd.total_power().value() - rev.total_power().value()).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Profile CSV round-trips preserve every numeric field bit-for-bit
-    /// close for arbitrary real sweeps.
-    #[test]
-    fn profile_roundtrip_for_random_budgets(budget in 150.0f64..300.0) {
-        use power_bounded_computing::core::{profile_from_csv, profile_to_csv};
+/// Profile CSV round-trips preserve every numeric field bit-for-bit
+/// close for arbitrary real sweeps.
+#[test]
+fn profile_roundtrip_for_random_budgets() {
+    use power_bounded_computing::core::{profile_from_csv, profile_to_csv};
+    let mut rng = XorShift64Star::new(0xC0FFEE0C);
+    for case in 0..CASES / 8 {
+        let budget = rng.range_f64(150.0, 300.0);
         let problem = PowerBoundedProblem::new(
             ivybridge(),
             by_name("cg").unwrap().demand,
             Watts::new(budget),
-        ).unwrap();
+        )
+        .unwrap();
         let profile = sweep_budget(&problem, Watts::new(8.0)).unwrap();
         let back = profile_from_csv(&profile_to_csv(&profile)).unwrap();
-        prop_assert_eq!(profile.points.len(), back.points.len());
+        assert_eq!(profile.points.len(), back.points.len(), "case {case}");
         for (a, b) in profile.points.iter().zip(&back.points) {
-            prop_assert!((a.op.perf_rel - b.op.perf_rel).abs() < 1e-12);
+            assert!((a.op.perf_rel - b.op.perf_rel).abs() < 1e-12, "case {case}");
         }
     }
 }
