@@ -1,0 +1,51 @@
+//! The oracle sweep under the clock, with its accounting audited.
+//!
+//! Each case sweeps one (workload, budget) pair and then checks the
+//! trace counters' conservation law — `evaluated + infeasible = total`,
+//! `lost = 0`, `solver_errors = 0` — so a timing run can never look
+//! healthy while the sweep is quietly dropping points. With
+//! `PBC_BENCH_JSON=<file>` set, the timings land there as JSON lines
+//! (see `scripts/check.sh`, which keeps `BENCH_sweep.json` current).
+
+use pbc_bench::Bench;
+use pbc_core::{sweep_budget, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_platform::presets::{ivybridge, titan_xp};
+use pbc_trace::names;
+use pbc_types::Watts;
+use std::hint::black_box;
+
+fn main() {
+    let mut bench = Bench::from_env();
+    let cases = [
+        ("sweep/stream-208w", "stream", 208.0),
+        ("sweep/sra-240w", "sra", 240.0),
+        ("sweep/gpu-stream-140w", "gpu-stream", 140.0),
+    ];
+    for (label, workload, budget) in cases {
+        let w = pbc_workloads::by_name(workload).expect("workload exists");
+        let platform = if matches!(w.target, pbc_workloads::Target::Gpu) {
+            titan_xp()
+        } else {
+            ivybridge()
+        };
+        let problem = PowerBoundedProblem::new(platform, w.demand, Watts::new(budget))
+            .expect("problem is well-formed");
+        bench.run(label, || {
+            let profile = sweep_budget(black_box(&problem), DEFAULT_STEP).expect("sweep succeeds");
+            assert!(!profile.points.is_empty(), "{label}: empty profile");
+            profile
+        });
+    }
+
+    // The conservation law, over everything the timed runs accumulated.
+    let counters = pbc_trace::snapshot().counters;
+    let read = |name: &str| counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        read(names::SWEEP_POINTS_EVALUATED) + read(names::SWEEP_POINTS_INFEASIBLE),
+        read(names::SWEEP_POINTS_TOTAL),
+        "sweep accounting must balance"
+    );
+    assert_eq!(read(names::SWEEP_POINTS_LOST), 0, "sweep lost points");
+    assert_eq!(read(names::SWEEP_SOLVER_ERRORS), 0, "sweep hit solver errors");
+    bench.finish();
+}

@@ -7,8 +7,15 @@
 //! binaries — a name filter, and `--test` (sent by `cargo test
 //! --benches`), which switches to a one-iteration smoke run so the
 //! bench suite doubles as a cheap regression check.
+//!
+//! When the `PBC_BENCH_JSON` environment variable names a file, every
+//! measured benchmark also appends one machine-readable JSON line there
+//! (the `pbc-trace` `"type":"bench"` schema), so CI can keep a timing
+//! trajectory across commits.
 
+use pbc_types::u64_from_f64;
 use std::hint::black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// How long to measure each benchmark for (after warmup).
@@ -69,7 +76,8 @@ impl Bench {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
-        let batch = ((MEASURE_WINDOW.as_nanos() as f64 / 100.0 / per_iter.max(1.0)) as u64).max(1);
+        let target = MEASURE_WINDOW.as_nanos() as f64 / 100.0 / per_iter.max(1.0);
+        let batch = u64_from_f64(target).unwrap_or(1).max(1);
 
         let mut samples: Vec<f64> = Vec::new();
         let measure_start = Instant::now();
@@ -91,6 +99,7 @@ impl Bench {
             fmt_ns(mean),
             samples.len(),
         );
+        append_json_record(name, min, median, mean, samples.len(), batch);
     }
 
     /// Print a footer; call last so a filter matching nothing is visible.
@@ -100,6 +109,35 @@ impl Bench {
                 println!("bench: no benchmark matched filter {filter:?}");
             }
         }
+    }
+}
+
+/// Append one `"type":"bench"` JSON line to the file named by
+/// `PBC_BENCH_JSON`, when set. Failures print a warning instead of
+/// killing the bench run — timings on stdout are still the primary
+/// output.
+fn append_json_record(
+    name: &str,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    let Ok(path) = std::env::var("PBC_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = pbc_trace::bench_record_line(name, min_ns, median_ns, mean_ns, samples, iters_per_sample);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        println!("bench: could not append to PBC_BENCH_JSON={path}: {e}");
     }
 }
 

@@ -25,8 +25,26 @@ USAGE:
                                         markdown coordination report
   pbc rapl-status                       read real RAPL domains (Linux)
 
+Global options:
+  --trace FILE    record spans and counters for the run and write them
+                  to FILE as JSON lines (see docs/OBSERVABILITY.md)
+
 PLATFORM: ivybridge | haswell | titan-xp | titan-v
 BENCH:    see `pbc benchmarks`";
+
+/// Remove `--trace FILE` from `argv`, returning the file when present.
+/// Handled before command dispatch so every subcommand accepts it.
+fn take_trace_flag(argv: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = argv.iter().position(|a| a == "--trace") else {
+        return Ok(None);
+    };
+    if pos + 1 >= argv.len() {
+        return Err("--trace needs a file path".to_string());
+    }
+    let path = argv.remove(pos + 1);
+    argv.remove(pos);
+    Ok(Some(path))
+}
 
 struct Args {
     platform: Option<String>,
@@ -112,8 +130,7 @@ fn need<T>(v: Option<T>, what: &str) -> Result<T, String> {
     v.ok_or_else(|| format!("missing {what}"))
 }
 
-fn run() -> Result<String, String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn run(argv: &[String]) -> Result<String, String> {
     let Some(cmd) = argv.first() else {
         return Err(HELP.to_string());
     };
@@ -201,7 +218,26 @@ fn run() -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match take_trace_flag(&mut argv) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace_path.is_some() {
+        pbc_trace::enable();
+    }
+    let outcome = run(&argv);
+    if let Some(path) = trace_path {
+        pbc_trace::disable();
+        if let Err(e) = pbc_trace::export(std::path::Path::new(&path)) {
+            eprintln!("could not write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome {
         Ok(out) => {
             println!("{out}");
             ExitCode::SUCCESS

@@ -1,0 +1,83 @@
+//! End-to-end `--trace` test through the real `pbc` binary: a sweep run
+//! with `--trace FILE` must exit successfully and leave behind parseable
+//! JSON lines whose sweep accounting balances.
+
+use pbc_trace::json::{self, Value};
+use pbc_trace::names;
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn trace_file(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pbc-cli-trace-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn sweep_with_trace_flag_writes_balanced_accounting() {
+    let path = trace_file("sweep");
+    let output = Command::new(env!("CARGO_BIN_EXE_pbc"))
+        .args(["sweep", "-p", "ivybridge", "-w", "stream", "-b", "208"])
+        .args(["--trace", path.to_str().unwrap()])
+        .output()
+        .expect("pbc binary runs");
+    assert!(
+        output.status.success(),
+        "pbc sweep --trace failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut span_names = Vec::new();
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        match v.get("type").and_then(Value::as_str) {
+            Some("counter") => {
+                counters.insert(
+                    v.get("name").and_then(Value::as_str).unwrap().to_string(),
+                    v.get("value").and_then(Value::as_u64).unwrap(),
+                );
+            }
+            Some("span") => {
+                span_names.push(v.get("name").and_then(Value::as_str).unwrap().to_string());
+            }
+            Some("meta" | "gauge") => {}
+            other => panic!("unexpected line type {other:?}"),
+        }
+    }
+
+    let read = |name: &str| counters.get(name).copied().unwrap_or(0);
+    assert!(read(names::SWEEP_POINTS_TOTAL) > 0, "sweep recorded no points");
+    assert_eq!(
+        read(names::SWEEP_POINTS_EVALUATED) + read(names::SWEEP_POINTS_INFEASIBLE),
+        read(names::SWEEP_POINTS_TOTAL),
+        "evaluated + infeasible must equal total"
+    );
+    assert_eq!(read(names::SWEEP_POINTS_LOST), 0);
+    assert_eq!(read(names::SWEEP_SOLVER_ERRORS), 0);
+    assert!(span_names.iter().any(|n| n == names::SPAN_SWEEP));
+    assert!(span_names.iter().any(|n| n == names::SPAN_SWEEP_WORKER));
+}
+
+#[test]
+fn trace_flag_without_path_fails_loudly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_pbc"))
+        .args(["platforms", "--trace"])
+        .output()
+        .expect("pbc binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--trace"), "unhelpful error: {stderr}");
+}
+
+#[test]
+fn runs_without_trace_flag_write_no_file() {
+    let path = trace_file("none");
+    let output = Command::new(env!("CARGO_BIN_EXE_pbc"))
+        .args(["coord", "-p", "ivybridge", "-w", "stream", "-b", "208"])
+        .output()
+        .expect("pbc binary runs");
+    assert!(output.status.success());
+    assert!(!path.exists());
+}

@@ -20,6 +20,7 @@
 use crate::critical::CriticalPowers;
 use pbc_platform::GpuSpec;
 use pbc_powersim::{solve_gpu, uncapped_demand, WorkloadDemand};
+use pbc_trace::names;
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
 
 /// Outcome status of a COORD decision.
@@ -65,15 +66,20 @@ pub fn coord_cpu(budget: Watts, c: &CriticalPowers) -> Result<CoordResult> {
     if budget >= c.cpu_l1 + c.mem_l1 {
         // Regime A: adequate power for both.
         let alloc = PowerAllocation::new(c.cpu_l1, c.mem_l1);
+        let surplus = budget - alloc.total();
+        pbc_trace::counter(names::COORD_CPU_REGIME_A).incr();
+        pbc_trace::gauge(names::COORD_CPU_SURPLUS_W).set(surplus.value());
         return Ok(CoordResult {
             alloc,
-            status: CoordStatus::Surplus(budget - alloc.total()),
+            status: CoordStatus::Surplus(surplus),
         });
     }
     if budget >= c.cpu_l2 + c.mem_l1 {
         // Regime B: memory first (it has the greater performance impact),
         // CPU takes the rest and lands inside its P-state range.
         let mem = c.mem_l1;
+        pbc_trace::counter(names::COORD_CPU_REGIME_B).incr();
+        pbc_trace::gauge(names::COORD_CPU_SURPLUS_W).set(0.0);
         return Ok(CoordResult {
             alloc: PowerAllocation::new(budget - mem, mem),
             status: CoordStatus::Success,
@@ -87,12 +93,15 @@ pub fn coord_cpu(budget: Watts, c: &CriticalPowers) -> Result<CoordResult> {
         let percent_cpu = if denom > 0.0 { pd_cpu.value() / denom } else { 0.5 };
         let slack = budget - (c.cpu_l2 + c.mem_l2);
         let cpu = c.cpu_l2 + slack * percent_cpu;
+        pbc_trace::counter(names::COORD_CPU_REGIME_C).incr();
+        pbc_trace::gauge(names::COORD_CPU_SURPLUS_W).set(0.0);
         return Ok(CoordResult {
             alloc: PowerAllocation::new(cpu, budget - cpu),
             status: CoordStatus::Success,
         });
     }
     // Regime D: refuse.
+    pbc_trace::counter(names::COORD_CPU_REJECTED).incr();
     Err(PbcError::BudgetTooSmall {
         requested: budget,
         minimum: c.productive_threshold(),
@@ -157,26 +166,33 @@ impl GpuCoordParams {
 /// [`PbcError::BudgetTooSmall`] for budgets the card would reject.
 pub fn coord_gpu(budget: Watts, gpu: &GpuSpec, params: &GpuCoordParams) -> Result<CoordResult> {
     if budget < gpu.min_card_cap {
+        pbc_trace::counter(names::COORD_GPU_REJECTED).incr();
         return Err(PbcError::BudgetTooSmall {
             requested: budget,
             minimum: gpu.min_card_cap,
         });
     }
     let status = if budget >= params.p_tot_max {
-        CoordStatus::Surplus(budget - params.p_tot_max)
+        let surplus = budget - params.p_tot_max;
+        pbc_trace::gauge(names::COORD_GPU_SURPLUS_W).set(surplus.value());
+        CoordStatus::Surplus(surplus)
     } else {
+        pbc_trace::gauge(names::COORD_GPU_SURPLUS_W).set(0.0);
         CoordStatus::Success
     };
     let alloc = if params.is_compute_intensive(gpu) {
         // Compute-intensive: minimum memory, everything else to the SMs.
+        pbc_trace::counter(names::COORD_GPU_COMPUTE).incr();
         let mem = params.p_mem_min;
         PowerAllocation::new(budget - mem, mem)
     } else if budget >= params.p_tot_ref {
         // Memory-intensive with enough budget: maximum memory power.
+        pbc_trace::counter(names::COORD_GPU_MEM_FULL).incr();
         let mem = params.p_mem_max;
         PowerAllocation::new(budget - mem, mem)
     } else {
         // In between: balance via γ.
+        pbc_trace::counter(names::COORD_GPU_BALANCED).incr();
         let slack = (budget - params.p_tot_min).max(Watts::ZERO);
         let mem = (params.p_mem_min + slack * params.gamma).min(params.p_mem_max);
         PowerAllocation::new(budget - mem, mem)

@@ -18,6 +18,7 @@
 //! from the slack toward the constrained side first.
 
 use pbc_powersim::NodeOperatingPoint;
+use pbc_trace::names;
 use pbc_types::{PowerAllocation, Watts};
 
 /// Tuning knobs for the online coordinator.
@@ -150,6 +151,7 @@ impl OnlineCoordinator {
                         self.phase = Phase::TryTowardMem;
                         continue;
                     }
+                    pbc_trace::counter(names::ONLINE_PROBE_TOWARD_PROC).incr();
                     break c;
                 }
                 Phase::TryTowardMem => {
@@ -158,10 +160,13 @@ impl OnlineCoordinator {
                         self.phase = Phase::Shrink;
                         continue;
                     }
+                    pbc_trace::counter(names::ONLINE_PROBE_TOWARD_MEM).incr();
                     break c;
                 }
                 Phase::Shrink => {
                     self.step = self.step * self.config.decay;
+                    pbc_trace::counter(names::ONLINE_STEP_DECAYS).incr();
+                    pbc_trace::gauge(names::ONLINE_STEP_W).set(self.step.value());
                     if self.step < self.config.min_step {
                         self.phase = Phase::Converged;
                     } else {
@@ -176,10 +181,22 @@ impl OnlineCoordinator {
         candidate
     }
 
+    fn accept(&mut self, tried: PowerAllocation, perf: f64) {
+        self.best = tried;
+        self.best_perf = perf;
+        pbc_trace::counter(names::ONLINE_ACCEPTED).incr();
+        pbc_trace::gauge(names::ONLINE_BEST_PERF).set(perf);
+    }
+
+    fn reject(&mut self) {
+        pbc_trace::counter(names::ONLINE_REJECTED).incr();
+    }
+
     /// Report the operating point observed while running the allocation
     /// returned by the last [`Self::next_allocation`].
     pub fn observe(&mut self, op: &NodeOperatingPoint) {
         self.epochs += 1;
+        pbc_trace::counter(names::ONLINE_EPOCHS).incr();
         let Some(tried) = self.pending.take() else {
             return;
         };
@@ -187,25 +204,26 @@ impl OnlineCoordinator {
         if self.best_perf == f64::NEG_INFINITY {
             // Baseline measurement of the starting point.
             self.best_perf = perf;
+            pbc_trace::gauge(names::ONLINE_BEST_PERF).set(perf);
             return;
         }
         let improved = perf > self.best_perf * (1.0 + self.config.accept_margin);
         match self.phase {
             Phase::TryTowardProc => {
                 if improved {
-                    self.best = tried;
-                    self.best_perf = perf;
+                    self.accept(tried, perf);
                     // Keep pushing the same direction.
                 } else {
+                    self.reject();
                     self.phase = Phase::TryTowardMem;
                 }
             }
             Phase::TryTowardMem => {
                 if improved {
-                    self.best = tried;
-                    self.best_perf = perf;
+                    self.accept(tried, perf);
                     // Keep pushing; stay in this phase.
                 } else {
+                    self.reject();
                     self.phase = Phase::Shrink;
                 }
             }

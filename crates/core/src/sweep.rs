@@ -5,10 +5,31 @@
 //! same, which is why the heuristic occasionally beats "the best found in
 //! the experimental dataset"). Evaluations are independent, so the sweep
 //! fans out across threads with `std::thread::scope`.
+//!
+//! ## Error contract
+//!
+//! The sweep distinguishes two failure classes, via
+//! [`PbcError::is_infeasible`](pbc_types::PbcError::is_infeasible):
+//!
+//! * **Infeasible allocations** (budget too small, cap out of range) are
+//!   an expected part of probing the boundary of the feasible region.
+//!   They are counted (`sweep.points_infeasible`) and skipped; a budget
+//!   where *every* allocation is infeasible yields an empty profile —
+//!   the sweep-level signal that the budget is not schedulable at all.
+//! * **Real solver errors** (I/O, malformed input, missing backend) fail
+//!   the whole sweep with `Err`. A panicking worker propagates its panic
+//!   to the caller. Earlier revisions swallowed both — an error-prone
+//!   solver or a dying worker silently produced a *truncated* profile,
+//!   which downstream code then treated as the oracle. The trace
+//!   counters `sweep.points_lost` and `sweep.solver_errors` exist so
+//!   that regression is observable: both must read zero on any run that
+//!   returns `Ok`.
 
 use crate::problem::PowerBoundedProblem;
 use crate::profile::{SweepPoint, SweepProfile};
-use pbc_powersim::solve;
+use pbc_platform::Platform;
+use pbc_powersim::{solve, NodeOperatingPoint, WorkloadDemand};
+use pbc_trace::names;
 use pbc_types::{AllocationSpace, PowerAllocation, Result, Watts};
 
 /// Default sweep stepping, matching the coarse grid of the paper's
@@ -36,7 +57,9 @@ pub const DEFAULT_STEP: Watts = Watts::new(4.0);
 /// Allocations the platform rejects outright (GPU totals below the
 /// minimum settable cap) yield an empty profile rather than an error —
 /// an empty profile is the sweep-level signal that the budget is not
-/// schedulable at all.
+/// schedulable at all. Non-infeasibility solver errors fail the sweep
+/// (see the module docs for the full error contract).
+#[must_use = "the sweep result carries either the profile or the solver failure"]
 pub fn sweep_budget(problem: &PowerBoundedProblem, step: Watts) -> Result<SweepProfile> {
     let space = AllocationSpace::new(
         problem.budget,
@@ -49,8 +72,36 @@ pub fn sweep_budget(problem: &PowerBoundedProblem, step: Watts) -> Result<SweepP
 
 /// Sweep an explicit allocation space (callers construct custom spaces
 /// for zoomed-in views around an optimum).
+#[must_use = "the sweep result carries either the profile or the solver failure"]
 pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Result<SweepProfile> {
+    sweep_space_with(problem, space, solve)
+}
+
+/// The sweep engine, generic over the evaluator so tests can inject
+/// failing or panicking solvers without a special platform.
+fn sweep_space_with<F>(
+    problem: &PowerBoundedProblem,
+    space: &AllocationSpace,
+    eval: F,
+) -> Result<SweepProfile>
+where
+    F: Fn(&Platform, &WorkloadDemand, PowerAllocation) -> Result<NodeOperatingPoint> + Sync,
+{
     let allocs: Vec<PowerAllocation> = space.iter().collect();
+
+    // Register the accounting counters up front so every one of them is
+    // present in an exported trace even when it reads zero — absence
+    // must never be mistaken for emptiness.
+    let total_c = pbc_trace::counter(names::SWEEP_POINTS_TOTAL);
+    let evaluated_c = pbc_trace::counter(names::SWEEP_POINTS_EVALUATED);
+    let infeasible_c = pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE);
+    let lost_c = pbc_trace::counter(names::SWEEP_POINTS_LOST);
+    let errors_c = pbc_trace::counter(names::SWEEP_SOLVER_ERRORS);
+    total_c.add(allocs.len() as u64);
+
+    let sweep_span = pbc_trace::span(names::SPAN_SWEEP);
+    let sweep_id = sweep_span.id();
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -60,34 +111,56 @@ pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Re
     let mut points: Vec<SweepPoint> = if allocs.is_empty() {
         Vec::new()
     } else {
-        std::thread::scope(|s| {
+        std::thread::scope(|s| -> Result<Vec<SweepPoint>> {
             let handles: Vec<_> = allocs
                 .chunks(chunk.max(1))
                 .map(|batch| {
                     let platform = &problem.platform;
                     let workload = &problem.workload;
-                    s.spawn(move || {
-                        batch
-                            .iter()
-                            .filter_map(|&alloc| {
-                                solve(platform, workload, alloc)
-                                    .ok()
-                                    .map(|op| SweepPoint { alloc, op })
-                            })
-                            .collect::<Vec<_>>()
-                    })
+                    let eval = &eval;
+                    let evaluated_c = evaluated_c.clone();
+                    let infeasible_c = infeasible_c.clone();
+                    let errors_c = errors_c.clone();
+                    let handle = s.spawn(move || -> Result<Vec<SweepPoint>> {
+                        let _worker = pbc_trace::span_under(names::SPAN_SWEEP_WORKER, sweep_id);
+                        let mut out = Vec::with_capacity(batch.len());
+                        for &alloc in batch {
+                            match eval(platform, workload, alloc) {
+                                Ok(op) => {
+                                    evaluated_c.incr();
+                                    out.push(SweepPoint { alloc, op });
+                                }
+                                Err(e) if e.is_infeasible() => infeasible_c.incr(),
+                                Err(e) => {
+                                    errors_c.incr();
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        Ok(out)
+                    });
+                    (batch.len(), handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(batch) => batch,
-                    // A panicking worker only loses its batch of points; the
-                    // sweep result stays well-formed.
-                    Err(_) => Vec::new(),
-                })
-                .collect()
-        })
+            let mut points = Vec::new();
+            for (batch_len, handle) in handles {
+                match handle.join() {
+                    Ok(Ok(batch)) => points.extend(batch),
+                    // A real solver error anywhere fails the sweep; a
+                    // truncated profile must never masquerade as the
+                    // oracle. Remaining workers are joined when the
+                    // scope closes.
+                    Ok(Err(e)) => return Err(e),
+                    Err(payload) => {
+                        // Account for the batch this worker was carrying,
+                        // then re-raise its panic on the calling thread.
+                        lost_c.add(batch_len as u64);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Ok(points)
+        })?
     };
 
     points.sort_by(|a, b| a.alloc.proc.0.total_cmp(&b.alloc.proc.0));
@@ -103,7 +176,15 @@ pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Re
 mod tests {
     use super::*;
     use pbc_platform::presets::{ivybridge, titan_xp};
+    use pbc_types::PbcError;
     use pbc_workloads::by_name;
+
+    /// Counters are process-global and unit tests share a process, so
+    /// tests that assert on counter deltas serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn problem(bench: &str, budget: f64) -> PowerBoundedProblem {
         let b = by_name(bench).unwrap();
@@ -117,6 +198,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_the_space_in_order() {
+        let _g = lock();
         let p = problem("sra", 240.0);
         let profile = sweep_budget(&p, DEFAULT_STEP).unwrap();
         assert!(profile.points.len() > 20, "only {} points", profile.points.len());
@@ -128,6 +210,7 @@ mod tests {
 
     #[test]
     fn stream_208w_has_the_papers_headline_spread() {
+        let _g = lock();
         // Fig. 1a: at a 208 W budget, optimally vs poorly coordinated
         // allocations differ by ~30x for CPU STREAM.
         let p = problem("stream", 208.0);
@@ -141,6 +224,7 @@ mod tests {
 
     #[test]
     fn gpu_sweep_at_140w_has_the_papers_spread() {
+        let _g = lock();
         // Fig. 1b: >30% best-to-worst at a 140 W card cap, and far milder
         // than the CPU spread because low caps are excluded.
         let p = problem("gpu-stream", 140.0);
@@ -154,6 +238,7 @@ mod tests {
 
     #[test]
     fn sub_minimum_gpu_budget_yields_empty_profile() {
+        let _g = lock();
         let p = problem("sgemm", 80.0);
         let profile = sweep_budget(&p, DEFAULT_STEP).unwrap();
         assert!(profile.points.is_empty());
@@ -161,6 +246,7 @@ mod tests {
 
     #[test]
     fn oracle_best_is_interior_for_balanced_budget() {
+        let _g = lock();
         // At SRA's 240 W the optimum sits near (112, 116) — in the
         // interior of the sweep, not at an edge.
         let p = problem("sra", 240.0);
@@ -179,6 +265,7 @@ mod tests {
 
     #[test]
     fn custom_space_zoom() {
+        let _g = lock();
         let p = problem("dgemm", 240.0);
         let space = AllocationSpace::new(
             Watts::new(240.0),
@@ -191,5 +278,107 @@ mod tests {
         for pt in &profile.points {
             assert!(pt.alloc.proc >= Watts::new(150.0) && pt.alloc.proc <= Watts::new(180.0));
         }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_truncating() {
+        let _g = lock();
+        // The original bug: a panicking worker lost its whole batch and
+        // the sweep returned a truncated profile as if nothing happened.
+        let p = problem("sra", 240.0);
+        let space = AllocationSpace::new(
+            p.budget,
+            p.proc_cap_range(),
+            p.mem_cap_range(),
+            DEFAULT_STEP,
+        );
+        let lost_before = pbc_trace::counter(names::SWEEP_POINTS_LOST).get();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sweep_space_with(&p, &space, |_, _, alloc| {
+                assert!(
+                    alloc.proc.value() < 100.0,
+                    "injected worker failure at {alloc:?}"
+                );
+                Ok(solve(&p.platform, &p.workload, alloc).unwrap())
+            })
+        }));
+        assert!(result.is_err(), "the sweep swallowed a worker panic");
+        let lost_after = pbc_trace::counter(names::SWEEP_POINTS_LOST).get();
+        assert!(
+            lost_after > lost_before,
+            "sweep.points_lost did not account for the dropped batch"
+        );
+    }
+
+    #[test]
+    fn real_solver_error_fails_the_sweep() {
+        let _g = lock();
+        let p = problem("sra", 240.0);
+        let space = AllocationSpace::new(
+            p.budget,
+            p.proc_cap_range(),
+            p.mem_cap_range(),
+            DEFAULT_STEP,
+        );
+        let err = sweep_space_with(&p, &space, |platform, workload, alloc| {
+            if alloc.proc.value() > 100.0 {
+                return Err(PbcError::Io("sensor read failed".into()));
+            }
+            solve(platform, workload, alloc)
+        })
+        .unwrap_err();
+        assert!(matches!(err, PbcError::Io(_)), "got {err}");
+        assert!(!err.is_infeasible());
+    }
+
+    #[test]
+    fn infeasible_allocations_are_skipped_not_fatal() {
+        let _g = lock();
+        let p = problem("sra", 240.0);
+        let space = AllocationSpace::new(
+            p.budget,
+            p.proc_cap_range(),
+            p.mem_cap_range(),
+            DEFAULT_STEP,
+        );
+        let full = sweep_space(&p, &space).unwrap();
+        let infeasible_before = pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE).get();
+        // Reject the bottom half of the proc axis as out of range: the
+        // sweep must skip those points and keep the rest.
+        let profile = sweep_space_with(&p, &space, |platform, workload, alloc| {
+            if alloc.proc.value() < 112.0 {
+                return Err(PbcError::CapOutOfRange {
+                    component: "cpu".into(),
+                    requested: alloc.proc,
+                    min: Watts::new(112.0),
+                    max: Watts::new(230.0),
+                });
+            }
+            solve(platform, workload, alloc)
+        })
+        .unwrap();
+        let infeasible_after = pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE).get();
+        assert!(!profile.points.is_empty());
+        assert!(profile.points.len() < full.points.len());
+        assert!(profile.points.iter().all(|pt| pt.alloc.proc.value() >= 112.0));
+        assert!(infeasible_after > infeasible_before);
+    }
+
+    #[test]
+    fn sweep_accounting_adds_up() {
+        let _g = lock();
+        let p = problem("sra", 240.0);
+        let before = pbc_trace::snapshot().counters;
+        let profile = sweep_budget(&p, DEFAULT_STEP).unwrap();
+        let after = pbc_trace::snapshot().counters;
+        let delta = |name: &str| after[name] - before.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            delta(names::SWEEP_POINTS_EVALUATED) + delta(names::SWEEP_POINTS_INFEASIBLE),
+            delta(names::SWEEP_POINTS_TOTAL),
+            "evaluated + infeasible must equal total"
+        );
+        assert_eq!(delta(names::SWEEP_POINTS_EVALUATED), profile.points.len() as u64);
+        assert_eq!(delta(names::SWEEP_POINTS_LOST), 0);
+        assert_eq!(delta(names::SWEEP_SOLVER_ERRORS), 0);
     }
 }

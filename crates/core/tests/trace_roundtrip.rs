@@ -1,0 +1,102 @@
+//! End-to-end trace round-trip: run a real sweep with tracing enabled,
+//! export the registry as JSON lines, parse it back, and audit the
+//! accounting. This is the test that would have caught the sweep's
+//! silent data loss: `sweep.points_lost` must read zero and
+//! `evaluated + infeasible` must equal `total`.
+//!
+//! This lives alone in its own integration-test binary because the trace
+//! registry is process-global and the assertions here are exact.
+
+use pbc_core::{sweep_budget, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_platform::presets::ivybridge;
+use pbc_trace::json::{self, Value};
+use pbc_trace::names;
+use pbc_types::Watts;
+
+#[test]
+fn sweep_trace_round_trips_with_balanced_accounting() {
+    pbc_trace::reset();
+    pbc_trace::enable();
+
+    let problem = PowerBoundedProblem::new(
+        ivybridge(),
+        pbc_workloads::by_name("sra").unwrap().demand,
+        Watts::new(240.0),
+    )
+    .unwrap();
+    let profile = sweep_budget(&problem, DEFAULT_STEP).unwrap();
+    assert!(!profile.points.is_empty());
+
+    pbc_trace::disable();
+    let text = pbc_trace::to_jsonl();
+
+    // Every line is valid JSON on its own.
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("unparseable trace line {l:?}: {e}")))
+        .collect();
+
+    // The first line is the meta header.
+    let meta = &lines[0];
+    assert_eq!(meta.get("type").and_then(Value::as_str), Some("meta"));
+    assert_eq!(meta.get("format").and_then(Value::as_str), Some("pbc-trace"));
+    assert_eq!(meta.get("version").and_then(Value::as_u64), Some(1));
+
+    // Rebuild the counter map from the parsed lines (not from the live
+    // registry — the point is that the file alone carries the story).
+    let mut counters = std::collections::BTreeMap::new();
+    let mut spans = Vec::new();
+    for v in &lines[1..] {
+        match v.get("type").and_then(Value::as_str) {
+            Some("counter") => {
+                let name = v.get("name").and_then(Value::as_str).unwrap().to_string();
+                let value = v.get("value").and_then(Value::as_u64).unwrap();
+                counters.insert(name, value);
+            }
+            Some("span") => spans.push(v),
+            Some("gauge") => {}
+            other => panic!("unexpected trace line type {other:?}"),
+        }
+    }
+
+    // The conservation law the sweep bugfix introduced.
+    let read = |name: &str| {
+        *counters
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name} missing from trace"))
+    };
+    assert_eq!(
+        read(names::SWEEP_POINTS_EVALUATED) + read(names::SWEEP_POINTS_INFEASIBLE),
+        read(names::SWEEP_POINTS_TOTAL),
+        "evaluated + infeasible must equal total"
+    );
+    assert_eq!(read(names::SWEEP_POINTS_EVALUATED), profile.points.len() as u64);
+    assert_eq!(read(names::SWEEP_POINTS_LOST), 0, "the sweep lost points");
+    assert_eq!(read(names::SWEEP_SOLVER_ERRORS), 0);
+    // The solver's own accounting covers at least the sweep's calls.
+    assert!(read(names::SOLVE_EVALUATIONS) >= read(names::SWEEP_POINTS_TOTAL));
+
+    // Span nesting: exactly one root sweep span; every worker span is
+    // parented under it despite running on a different thread.
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Value::as_str) == Some(names::SPAN_SWEEP))
+        .collect();
+    assert_eq!(roots.len(), 1, "expected exactly one sweep root span");
+    let root_id = roots[0].get("id").and_then(Value::as_u64).unwrap();
+    let workers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Value::as_str) == Some(names::SPAN_SWEEP_WORKER))
+        .collect();
+    assert!(!workers.is_empty(), "no worker spans recorded");
+    for w in &workers {
+        assert_eq!(
+            w.get("parent").and_then(Value::as_u64),
+            Some(root_id),
+            "worker span not parented under the sweep root"
+        );
+        let start = w.get("start_ns").and_then(Value::as_u64).unwrap();
+        let root_start = roots[0].get("start_ns").and_then(Value::as_u64).unwrap();
+        assert!(start >= root_start, "worker started before its parent");
+    }
+}

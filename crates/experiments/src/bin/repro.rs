@@ -5,6 +5,7 @@
 //! repro fig3              # run one experiment, print its tables
 //! repro all               # run everything
 //! repro fig9 --out results/   # also write CSV series
+//! repro all --trace t.jsonl   # also record a pbc-trace of the run
 //! ```
 
 use pbc_experiments::{run, EXPERIMENTS};
@@ -12,7 +13,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment|all|list> [--out DIR]");
+    eprintln!("usage: repro <experiment|all|list> [--out DIR] [--trace FILE]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     ExitCode::FAILURE
 }
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,6 +31,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
                 out_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--trace" => {
+                if i + 1 >= args.len() {
+                    return usage();
+                }
+                trace_path = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
             "-h" | "--help" => return usage(),
@@ -54,7 +63,12 @@ fn main() -> ExitCode {
         vec![target.as_str()]
     };
 
+    if trace_path.is_some() {
+        pbc_trace::enable();
+    }
+
     for name in names {
+        let _span = pbc_trace::span(&format!("experiment.{name}"));
         match run(name) {
             Ok(output) => {
                 println!("{}", output.render());
@@ -78,6 +92,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = trace_path {
+        pbc_trace::disable();
+        if let Err(e) = pbc_trace::export(&path) {
+            eprintln!("could not write trace to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -17,7 +17,7 @@ use crate::cpunode::{dram_bw_ceiling, solve_cpu};
 use crate::demand::WorkloadDemand;
 use crate::sockets::single_socket_spec;
 use pbc_platform::{CpuSpec, DramSpec};
-use pbc_types::{Bandwidth, PbcError, PowerAllocation, Result, Watts};
+use pbc_types::{u16_from_f64, u32_from_f64, Bandwidth, PbcError, PowerAllocation, Result, Watts};
 
 /// Scale a single-socket-normalized spec to an arbitrary core fraction of
 /// the node.
@@ -25,10 +25,15 @@ fn partition_spec(cpu: &CpuSpec, fraction: f64) -> CpuSpec {
     let one = single_socket_spec(cpu);
     let total = cpu.sockets as f64;
     let f = (fraction * total).max(0.05);
+    // Fractions arrive from scan loops, so they are finite and in (0, 1);
+    // the checked conversions turn any violation of that into a visible
+    // degenerate spec (0%, 1 core) instead of a saturated garbage value.
+    let percent = u32_from_f64(fraction * 100.0).unwrap_or(0);
+    let cores = (cpu.total_cores() as f64 * fraction).max(1.0);
     CpuSpec {
-        name: format!("{} ({}% of cores)", cpu.name, (fraction * 100.0) as u32),
+        name: format!("{} ({percent}% of cores)", cpu.name),
         sockets: 1,
-        cores_per_socket: ((cpu.total_cores() as f64 * fraction).round().max(1.0)) as u16,
+        cores_per_socket: u16_from_f64(cores).unwrap_or(1).max(1),
         pstates: one.pstates.clone(),
         tstate_duties: one.tstate_duties.clone(),
         leakage_nominal: one.leakage_nominal * f,

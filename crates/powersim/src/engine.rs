@@ -25,7 +25,7 @@ use crate::memctl::DramThrottle;
 use crate::rapl::RaplController;
 use crate::thermal::{ThermalModel, ThermalParams};
 use pbc_platform::{CpuSpec, DramSpec, GpuSpec};
-use pbc_types::{Joules, PowerAllocation, Result, Seconds, Throughput, Watts};
+use pbc_types::{usize_from_f64, Joules, PowerAllocation, Result, Seconds, Throughput, Watts};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +41,18 @@ pub struct SimConfig {
     pub thermal: Option<ThermalParams>,
     /// Keep every n-th sample in the trace (1 = all).
     pub sample_stride: usize,
+}
+
+impl SimConfig {
+    /// Number of simulation ticks: `ceil(duration / dt)`, checked. A
+    /// non-finite or negative ratio (zero `dt`, negative duration) yields
+    /// zero steps — the simulation degenerates to an empty trace instead
+    /// of a garbage step count from a saturating cast.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        let ratio = (self.duration.value() / self.dt.value()).ceil();
+        usize_from_f64(ratio).unwrap_or(0)
+    }
 }
 
 impl Default for SimConfig {
@@ -145,7 +157,7 @@ pub fn simulate_cpu(
     let mut prochot = false;
     const PROCHOT_HYSTERESIS_C: f64 = 5.0;
 
-    let steps = (config.duration.value() / config.dt.value()).ceil() as usize;
+    let steps = config.steps();
     let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
     let mut work = 0.0;
     let mut energy = 0.0;
@@ -271,7 +283,7 @@ pub fn simulate_cpu_with_events(
     pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let mut next_event = 0usize;
 
-    let steps = (config.duration.value() / config.dt.value()).ceil() as usize;
+    let steps = config.steps();
     let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
     let mut work = 0.0;
     let mut energy = 0.0;
@@ -371,7 +383,7 @@ pub fn simulate_gpu(
     let nominal_rate = 1.0 / t_nominal;
     let cycle_work = 0.25 * nominal_rate;
 
-    let steps = (config.duration.value() / config.dt.value()).ceil() as usize;
+    let steps = config.steps();
     let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
     let mut work = 0.0;
     let mut energy = 0.0;

@@ -66,13 +66,42 @@ use pbc_types::{PowerAllocation, Result};
 
 /// Solve the steady-state operating point for any platform kind. Dispatches
 /// to [`solve_cpu`] or [`solve_gpu`].
+///
+/// Every call increments the `solve.evaluations` trace counter; outcomes
+/// split into `solve.infeasible` (the allocation is not schedulable —
+/// see [`pbc_types::PbcError::is_infeasible`]) and `solve.errors` (a
+/// real failure).
+#[must_use = "the operating point or the solver failure must be inspected"]
 pub fn solve(
     platform: &Platform,
     demand: &WorkloadDemand,
     alloc: PowerAllocation,
 ) -> Result<NodeOperatingPoint> {
-    match &platform.spec {
+    // solve() is the sweep's inner loop: cache the counter handles once
+    // so the per-call cost is a single relaxed atomic add, not a
+    // registry-mutex lookup. Registering all three together also means a
+    // trace always carries the error counters, even at zero.
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<(pbc_trace::Counter, pbc_trace::Counter, pbc_trace::Counter)> =
+        OnceLock::new();
+    let (evals, infeasible, errors) = COUNTERS.get_or_init(|| {
+        (
+            pbc_trace::counter(pbc_trace::names::SOLVE_EVALUATIONS),
+            pbc_trace::counter(pbc_trace::names::SOLVE_INFEASIBLE),
+            pbc_trace::counter(pbc_trace::names::SOLVE_ERRORS),
+        )
+    });
+    evals.incr();
+    let result = match &platform.spec {
         NodeSpec::Cpu { cpu, dram } => Ok(solve_cpu(cpu, dram, demand, alloc)),
         NodeSpec::Gpu(gpu) => solve_gpu(gpu, demand, alloc),
+    };
+    if let Err(e) = &result {
+        if e.is_infeasible() {
+            infeasible.incr();
+        } else {
+            errors.incr();
+        }
     }
+    result
 }

@@ -1,0 +1,346 @@
+//! # pbc-trace
+//!
+//! Dependency-free structured tracing and metrics for the power-bounded
+//! workspace: scoped [`span`]s with wall-clock timing, monotonic
+//! [`counter`]s and last-write-wins [`gauge`]s aggregated in a global
+//! thread-safe registry, and a JSON-lines exporter whose output the
+//! crate can parse back ([`json::parse`]) — so round-trip tests and the
+//! bench harness share one schema.
+//!
+//! The crate exists because the oracle sweep once lost data silently: a
+//! panicking worker dropped its whole batch of sweep points and solver
+//! errors were conflated with infeasible allocations. Counters make that
+//! class of bug *observable* — `sweep.points_lost` and
+//! `sweep.solver_errors` must read zero on every healthy run, and the
+//! exporter writes them even when zero so their absence is never
+//! mistaken for their emptiness.
+//!
+//! ## Semantics
+//!
+//! * **Counters and gauges always aggregate.** They are a couple of
+//!   atomic operations; keeping them unconditional means a decision path
+//!   cannot forget to opt in.
+//! * **Spans record only while [`enable`]d.** Spans allocate (a name, a
+//!   record in the registry), so the hot paths stay allocation-free
+//!   unless somebody asked for a trace.
+//! * **Everything is `std`.** `Mutex`, atomics, `Instant` — no registry
+//!   dependencies, per the workspace's offline-build rule.
+//!
+//! ## Example
+//!
+//! ```
+//! pbc_trace::reset();
+//! pbc_trace::enable();
+//! {
+//!     let _outer = pbc_trace::span("work");
+//!     let _inner = pbc_trace::span("work.step");
+//!     pbc_trace::counter("work.items").add(3);
+//!     pbc_trace::gauge("work.progress").set(0.5);
+//! }
+//! pbc_trace::disable();
+//! let text = pbc_trace::to_jsonl();
+//! for line in text.lines() {
+//!     assert!(pbc_trace::json::parse(line).is_ok());
+//! }
+//! let snap = pbc_trace::snapshot();
+//! assert_eq!(snap.counters["work.items"], 3);
+//! assert_eq!(snap.spans.len(), 2);
+//! ```
+
+pub mod json;
+pub mod names;
+mod registry;
+mod span;
+
+pub use registry::{Counter, Gauge, Snapshot, SpanRecord};
+pub use span::SpanGuard;
+
+use json::Value;
+use std::path::Path;
+
+/// Turn span recording on. Counters and gauges aggregate regardless.
+pub fn enable() {
+    registry::registry().set_enabled(true);
+}
+
+/// Turn span recording off.
+pub fn disable() {
+    registry::registry().set_enabled(false);
+}
+
+/// Is span recording currently on?
+#[must_use]
+pub fn is_enabled() -> bool {
+    registry::registry().enabled()
+}
+
+/// Clear every counter, gauge, and recorded span. Tests call this to
+/// get exact accounting; production code never needs it.
+pub fn reset() {
+    registry::registry().reset();
+}
+
+/// Look up (or register) the monotonic counter `name`. The returned
+/// handle is a clone-able `Arc<AtomicU64>`; hot loops should call this
+/// once and reuse the handle.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    registry::registry().counter(name)
+}
+
+/// Look up (or register) the gauge `name` (last write wins).
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    registry::registry().gauge(name)
+}
+
+/// Open a scoped span. The span closes (and records its duration) when
+/// the guard drops. Nesting on one thread is tracked automatically; for
+/// cross-thread nesting pass the parent id via [`span_under`].
+#[must_use = "the span closes when this guard drops; binding it to _ closes it immediately"]
+pub fn span(name: &str) -> SpanGuard {
+    span::begin(name, None)
+}
+
+/// Open a scoped span under an explicit parent — the cross-thread
+/// variant of [`span`] (e.g. sweep workers parented to the sweep span).
+#[must_use = "the span closes when this guard drops; binding it to _ closes it immediately"]
+pub fn span_under(name: &str, parent: Option<u64>) -> SpanGuard {
+    span::begin(name, parent)
+}
+
+/// A consistent copy of the registry: counter totals, gauge values, and
+/// every recorded span.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    registry::registry().snapshot()
+}
+
+/// Render the registry as JSON lines: one `meta` line, then one line
+/// per span, counter, and gauge. Every line parses with [`json::parse`].
+#[must_use]
+pub fn to_jsonl() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    let meta = Value::Obj(vec![
+        ("type".into(), Value::Str("meta".into())),
+        ("format".into(), Value::Str("pbc-trace".into())),
+        ("version".into(), Value::Num(1.0)),
+        ("spans".into(), Value::Num(snap.spans.len() as f64)),
+        ("counters".into(), Value::Num(snap.counters.len() as f64)),
+        ("gauges".into(), Value::Num(snap.gauges.len() as f64)),
+    ]);
+    out.push_str(&meta.render());
+    out.push('\n');
+    for s in &snap.spans {
+        let parent = match s.parent {
+            Some(p) => Value::Num(p as f64),
+            None => Value::Null,
+        };
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("span".into())),
+            ("id".into(), Value::Num(s.id as f64)),
+            ("parent".into(), parent),
+            ("name".into(), Value::Str(s.name.clone())),
+            ("thread".into(), Value::Str(s.thread.clone())),
+            ("start_ns".into(), Value::Num(s.start_ns as f64)),
+            ("dur_ns".into(), Value::Num(s.dur_ns as f64)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, value) in &snap.counters {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("counter".into())),
+            ("name".into(), Value::Str(name.clone())),
+            ("value".into(), Value::Num(*value as f64)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, value) in &snap.gauges {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("gauge".into())),
+            ("name".into(), Value::Str(name.clone())),
+            ("value".into(), Value::Num(*value)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the registry to `path` as JSON lines (see [`to_jsonl`]).
+#[must_use = "an unexported trace is invisible; handle the I/O error"]
+pub fn export(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl())
+}
+
+/// Render one benchmark timing record as a JSON line in the same schema
+/// the exporter uses (`"type":"bench"`). The bench harness appends these
+/// to the file named by `PBC_BENCH_JSON`, seeding the perf trajectory.
+#[must_use]
+pub fn bench_record_line(
+    name: &str,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) -> String {
+    Value::Obj(vec![
+        ("type".into(), Value::Str("bench".into())),
+        ("name".into(), Value::Str(name.into())),
+        ("min_ns".into(), Value::Num(min_ns)),
+        ("median_ns".into(), Value::Num(median_ns)),
+        ("mean_ns".into(), Value::Num(mean_ns)),
+        ("samples".into(), Value::Num(samples as f64)),
+        ("iters_per_sample".into(), Value::Num(iters_per_sample as f64)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry state is process-global; tests that need exact counts
+    /// serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counters_aggregate_even_when_disabled() {
+        let _g = lock();
+        reset();
+        disable();
+        counter("test.disabled").add(2);
+        assert_eq!(snapshot().counters["test.disabled"], 2);
+    }
+
+    #[test]
+    fn spans_record_only_when_enabled() {
+        let _g = lock();
+        reset();
+        disable();
+        {
+            let off = span("test.off");
+            assert!(off.id().is_none());
+        }
+        enable();
+        {
+            let on = span("test.on");
+            assert!(on.id().is_some());
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "test.on");
+    }
+
+    #[test]
+    fn nesting_is_tracked_per_thread() {
+        let _g = lock();
+        reset();
+        enable();
+        {
+            let outer = span("outer");
+            let outer_id = outer.id();
+            let inner = span("inner");
+            assert!(inner.id().is_some());
+            drop(inner);
+            drop(outer);
+            let snap = snapshot();
+            let inner_rec = snap.spans.iter().find(|s| s.name == "inner").map(|s| s.parent);
+            assert_eq!(inner_rec, Some(outer_id));
+        }
+        disable();
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _g = lock();
+        reset();
+        enable();
+        let root = span("root");
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _child = span_under("child", root_id);
+            });
+        });
+        drop(root);
+        disable();
+        let snap = snapshot();
+        let child = snap.spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.parent, root_id);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let _g = lock();
+        reset();
+        enable();
+        {
+            let _s = span("rt.outer");
+            counter("rt.count").add(41);
+            counter("rt.count").incr();
+            gauge("rt.gauge").set(2.5);
+        }
+        disable();
+        let text = to_jsonl();
+        let mut counters = 0;
+        let mut spans = 0;
+        for line in text.lines() {
+            let v = json::parse(line).unwrap();
+            // Names registered by other tests persist across reset()
+            // (values zeroed in place), so only inspect our own names.
+            let name = v.get("name").and_then(Value::as_str);
+            match v.get("type").and_then(Value::as_str) {
+                Some("counter") if name == Some("rt.count") => {
+                    counters += 1;
+                    assert_eq!(v.get("value").and_then(Value::as_u64), Some(42));
+                }
+                Some("span") => {
+                    spans += 1;
+                    assert_eq!(name, Some("rt.outer"));
+                }
+                Some("gauge") if name == Some("rt.gauge") => {
+                    let g = v.get("value").and_then(Value::as_f64).unwrap();
+                    assert!((g - 2.5).abs() < 1e-12);
+                }
+                Some("meta") => {
+                    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+                }
+                Some("counter" | "gauge") => {}
+                other => panic!("unexpected line type {other:?}"),
+            }
+        }
+        assert_eq!((counters, spans), (1, 1));
+    }
+
+    #[test]
+    fn bench_record_is_parseable() {
+        let line = bench_record_line("sweep/sra", 100.0, 120.5, 130.25, 64, 8);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("bench"));
+        assert_eq!(v.get("samples").and_then(Value::as_u64), Some(64));
+        let med = v.get("median_ns").and_then(Value::as_f64).unwrap();
+        assert!((med - 120.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_writes_a_file() {
+        let _g = lock();
+        reset();
+        counter("file.count").incr();
+        let path = std::env::temp_dir().join(format!("pbc-trace-test-{}.jsonl", std::process::id()));
+        export(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.lines().count() >= 2);
+        assert!(text.contains("file.count"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Canonical span, counter, and gauge names.
+//!
+//! Instrumented crates name their metrics through these constants so the
+//! trace schema has one source of truth (and `docs/OBSERVABILITY.md` has
+//! one table to keep in sync). Names form a dotted hierarchy rooted at
+//! the subsystem: `sweep.*`, `solve.*`, `coord.*`, `online.*`.
+
+// --- sweep (crates/core/src/sweep.rs) ---------------------------------
+
+/// Root span around one whole sweep.
+pub const SPAN_SWEEP: &str = "sweep";
+/// One worker batch, parented under [`SPAN_SWEEP`].
+pub const SPAN_SWEEP_WORKER: &str = "sweep.worker";
+
+/// Allocations handed to the sweep (the full candidate space).
+pub const SWEEP_POINTS_TOTAL: &str = "sweep.points_total";
+/// Allocations that solved to an operating point.
+pub const SWEEP_POINTS_EVALUATED: &str = "sweep.points_evaluated";
+/// Allocations the solver rejected as infeasible (counted, then skipped).
+pub const SWEEP_POINTS_INFEASIBLE: &str = "sweep.points_infeasible";
+/// Points dropped by a worker failure. **Must read zero on a healthy
+/// run** — a nonzero value is the silent-data-loss bug this crate was
+/// built to expose.
+pub const SWEEP_POINTS_LOST: &str = "sweep.points_lost";
+/// Real solver errors (not infeasibility). Also must read zero; nonzero
+/// fails the sweep loudly.
+pub const SWEEP_SOLVER_ERRORS: &str = "sweep.solver_errors";
+
+// --- solver (crates/powersim) -----------------------------------------
+
+/// Calls into `pbc_powersim::solve`.
+pub const SOLVE_EVALUATIONS: &str = "solve.evaluations";
+/// Solves rejected as infeasible (budget/cap not schedulable).
+pub const SOLVE_INFEASIBLE: &str = "solve.infeasible";
+/// Solves that failed with a real error.
+pub const SOLVE_ERRORS: &str = "solve.errors";
+
+// --- static coordinator (crates/core/src/coord.rs) --------------------
+
+/// CPU coordinations resolved in regime A (surplus left over).
+pub const COORD_CPU_REGIME_A: &str = "coord.cpu.regime_a";
+/// CPU coordinations resolved in regime B.
+pub const COORD_CPU_REGIME_B: &str = "coord.cpu.regime_b";
+/// CPU coordinations resolved in regime C.
+pub const COORD_CPU_REGIME_C: &str = "coord.cpu.regime_c";
+/// CPU coordinations rejected (budget below minimum — regime D).
+pub const COORD_CPU_REJECTED: &str = "coord.cpu.rejected";
+/// Last CPU surplus returned to the node budget, in watts.
+pub const COORD_CPU_SURPLUS_W: &str = "coord.cpu.surplus_w";
+
+/// GPU coordinations resolved compute-intensive.
+pub const COORD_GPU_COMPUTE: &str = "coord.gpu.compute_intensive";
+/// GPU coordinations resolved memory-full.
+pub const COORD_GPU_MEM_FULL: &str = "coord.gpu.mem_full";
+/// GPU coordinations resolved balanced.
+pub const COORD_GPU_BALANCED: &str = "coord.gpu.balanced";
+/// GPU coordinations rejected (cap out of range).
+pub const COORD_GPU_REJECTED: &str = "coord.gpu.rejected";
+/// Last GPU surplus returned to the node budget, in watts.
+pub const COORD_GPU_SURPLUS_W: &str = "coord.gpu.surplus_w";
+
+// --- online coordinator (crates/core/src/online.rs) -------------------
+
+/// Epochs observed by the online coordinator.
+pub const ONLINE_EPOCHS: &str = "online.epochs";
+/// Probes that improved performance and were accepted.
+pub const ONLINE_ACCEPTED: &str = "online.accepted";
+/// Probes that regressed performance and were rolled back.
+pub const ONLINE_REJECTED: &str = "online.rejected";
+/// Step-size decays after a failed probe pair.
+pub const ONLINE_STEP_DECAYS: &str = "online.step_decays";
+/// Probes shifting power toward the processors.
+pub const ONLINE_PROBE_TOWARD_PROC: &str = "online.probe_toward_proc";
+/// Probes shifting power toward memory.
+pub const ONLINE_PROBE_TOWARD_MEM: &str = "online.probe_toward_mem";
+/// Current probe step size, in watts.
+pub const ONLINE_STEP_W: &str = "online.step_w";
+/// Best performance seen so far (solver performance units).
+pub const ONLINE_BEST_PERF: &str = "online.best_perf";

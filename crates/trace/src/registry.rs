@@ -1,0 +1,255 @@
+//! The global registry: counters, gauges, and finished spans.
+//!
+//! Counter and gauge handles are `Arc<AtomicU64>` clones, so after the
+//! one registry lookup all updates are lock-free; the registry `Mutex`
+//! guards only the name→handle maps and the span list. Gauges store
+//! `f64::to_bits` in the atomic — last write wins, which is the right
+//! semantics for "current step size" / "latest surplus" style values.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// A monotonic counter handle. Cheap to clone; updates are lock-free.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle storing an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span, when one was open on the same thread (or passed
+    /// explicitly for cross-thread nesting).
+    pub parent: Option<u64>,
+    /// Span name (dotted hierarchy, e.g. `sweep.worker`).
+    pub name: String,
+    /// Label of the thread the span ran on.
+    pub thread: String,
+    /// Start, in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A consistent copy of the registry contents.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    spans: Vec<SpanRecord>,
+}
+
+/// The process-global registry.
+pub(crate) struct Registry {
+    enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry only means some thread panicked mid-update
+        // of the maps; the data is still the best record available.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.lock();
+        if let Some(c) = inner.counters.get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        inner.counters.insert(name.to_string(), Arc::clone(&cell));
+        Counter(cell)
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let cell = Arc::new(AtomicU64::new(0.0_f64.to_bits()));
+        inner.gauges.insert(name.to_string(), Arc::clone(&cell));
+        Gauge(cell)
+    }
+
+    pub(crate) fn record_span(&self, record: SpanRecord) {
+        self.lock().spans.push(record);
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        let mut inner = self.lock();
+        // Zero in place: handles cached by hot loops must stay live.
+        for cell in inner.counters.values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in inner.gauges.values() {
+            cell.store(0.0_f64.to_bits(), Ordering::Relaxed);
+        }
+        inner.spans.clear();
+    }
+}
+
+/// The singleton registry.
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        enabled: AtomicBool::new(false),
+        next_span_id: AtomicU64::new(0),
+        inner: Mutex::new(Inner::default()),
+    })
+}
+
+/// Nanoseconds since the process trace epoch (first call wins).
+pub(crate) fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_storage() {
+        let r = Registry {
+            enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        };
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(r.snapshot().counters["x"], 4);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let r = Registry {
+            enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        };
+        let g = r.gauge("g");
+        g.set(1.25);
+        g.set(-7.5);
+        assert!((r.snapshot().gauges["g"] + 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_cached_handles_live() {
+        let r = Registry {
+            enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        };
+        let c = r.counter("keep");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        assert_eq!(r.snapshot().counters["keep"], 1);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let r = Registry {
+            enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        };
+        let a = r.next_span_id();
+        let b = r.next_span_id();
+        assert!(a > 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,115 @@
+//! Scoped spans with per-thread nesting.
+//!
+//! A [`SpanGuard`] opens on creation and records a [`SpanRecord`] into
+//! the registry when dropped. Nesting on one thread is automatic (a
+//! thread-local stack of open span ids); spawned workers pass their
+//! logical parent explicitly via [`crate::span_under`] because a new
+//! thread starts with an empty stack.
+
+use crate::registry::{registry, now_ns, SpanRecord};
+use std::cell::RefCell;
+
+thread_local! {
+    static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Active {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+}
+
+/// Guard for an open span; the span closes when it drops. Inert (and
+/// free) when tracing is disabled.
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+impl SpanGuard {
+    /// The span id, for parenting cross-thread children — `None` when
+    /// tracing was disabled at creation.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        OPEN_SPANS.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        registry().record_span(SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            thread: thread_label(),
+            start_ns: a.start_ns,
+            dur_ns: now_ns().saturating_sub(a.start_ns),
+        });
+    }
+}
+
+/// Open a span. `explicit_parent` overrides the thread-local nesting
+/// (cross-thread parenting); otherwise the innermost open span on this
+/// thread is the parent.
+pub(crate) fn begin(name: &str, explicit_parent: Option<u64>) -> SpanGuard {
+    let reg = registry();
+    if !reg.enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = reg.next_span_id();
+    let parent = explicit_parent.or_else(|| OPEN_SPANS.with(|s| s.borrow().last().copied()));
+    OPEN_SPANS.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        active: Some(Active {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns: now_ns(),
+        }),
+    }
+}
+
+fn thread_label() -> String {
+    let current = std::thread::current();
+    match current.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", current.id()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        registry().set_enabled(false);
+        let g = begin("inert", None);
+        assert!(g.id().is_none());
+        drop(g);
+        // No stack entry was pushed.
+        OPEN_SPANS.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_sane() {
+        registry().set_enabled(true);
+        let a = begin("a", None);
+        let b = begin("b", None);
+        // Drop the outer guard first: the inner one must still unwind
+        // its own stack entry without panicking.
+        drop(a);
+        drop(b);
+        registry().set_enabled(false);
+        OPEN_SPANS.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

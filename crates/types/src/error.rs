@@ -53,6 +53,27 @@ pub enum PbcError {
     NotFound(String),
 }
 
+impl PbcError {
+    /// True for errors that mean "this allocation/budget is not
+    /// schedulable" rather than "something actually failed".
+    ///
+    /// Exhaustive search code (the oracle sweep) skips infeasible
+    /// allocations — they are an expected part of probing the boundary
+    /// of the feasible region — but must *fail* on any other variant:
+    /// treating an I/O error or a malformed input as "infeasible"
+    /// silently biases the profile, which is exactly the data-loss bug
+    /// the sweep once shipped.
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        matches!(
+            self,
+            PbcError::BudgetTooSmall { .. }
+                | PbcError::CapOutOfRange { .. }
+                | PbcError::BudgetExceeded { .. }
+        )
+    }
+}
+
 impl fmt::Display for PbcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -110,6 +131,38 @@ mod tests {
         let e: PbcError = io.into();
         assert!(matches!(e, PbcError::Io(_)));
         assert!(e.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn infeasibility_partitions_the_taxonomy() {
+        let infeasible = [
+            PbcError::BudgetTooSmall {
+                requested: Watts::new(60.0),
+                minimum: Watts::new(96.0),
+            },
+            PbcError::CapOutOfRange {
+                component: "gpu".into(),
+                requested: Watts::new(80.0),
+                min: Watts::new(100.0),
+                max: Watts::new(235.0),
+            },
+            PbcError::BudgetExceeded {
+                allocated: Watts::new(300.0),
+                bound: Watts::new(250.0),
+            },
+        ];
+        for e in &infeasible {
+            assert!(e.is_infeasible(), "{e}");
+        }
+        let real = [
+            PbcError::BackendUnavailable("rapl".into()),
+            PbcError::Io("read failed".into()),
+            PbcError::InvalidInput("empty profile".into()),
+            PbcError::NotFound("platform x".into()),
+        ];
+        for e in &real {
+            assert!(!e.is_infeasible(), "{e}");
+        }
     }
 
     #[test]

@@ -33,4 +33,7 @@ pub use component::{ComponentId, ComponentKind, Domain};
 pub use error::{PbcError, Result};
 pub use metrics::{Efficiency, PerfMetric, PerfUnit, Throughput};
 pub use rng::XorShift64Star;
-pub use units::{approx_eq, is_zero, Bandwidth, Gflops, Hertz, Joules, Seconds, Watts, EPSILON};
+pub use units::{
+    approx_eq, is_zero, u16_from_f64, u32_from_f64, u64_from_f64, usize_from_f64, Bandwidth,
+    Gflops, Hertz, Joules, Seconds, Watts, EPSILON,
+};

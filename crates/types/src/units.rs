@@ -35,6 +35,54 @@ pub fn is_zero(v: f64) -> bool {
     v.abs() <= EPSILON
 }
 
+macro_rules! checked_from_f64 {
+    ($(#[$meta:meta])* $fn_name:ident, $int:ty) => {
+        $(#[$meta])*
+        ///
+        /// Returns `None` when the value is non-finite, negative, or too
+        /// large for the target type; otherwise rounds to nearest. Use
+        /// this instead of a bare `as` cast, which silently saturates
+        /// (and truncates) on exactly the inputs that indicate a bug.
+        #[inline]
+        #[must_use]
+        pub fn $fn_name(v: f64) -> Option<$int> {
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            let rounded = v.round();
+            if rounded > <$int>::MAX as f64 {
+                return None;
+            }
+            let out = rounded as $int;
+            Some(out)
+        }
+    };
+}
+
+checked_from_f64!(
+    /// Checked `f64` → `usize` conversion (e.g. step counts derived from
+    /// `duration / dt`).
+    usize_from_f64,
+    usize
+);
+checked_from_f64!(
+    /// Checked `f64` → `u64` conversion (e.g. batch sizes derived from
+    /// timing ratios).
+    u64_from_f64,
+    u64
+);
+checked_from_f64!(
+    /// Checked `f64` → `u32` conversion (e.g. percentages for labels).
+    u32_from_f64,
+    u32
+);
+checked_from_f64!(
+    /// Checked `f64` → `u16` conversion (e.g. core counts from
+    /// fractional partitions).
+    u16_from_f64,
+    u16
+);
+
 macro_rules! unit {
     ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
         $(#[$meta])*
@@ -396,6 +444,30 @@ mod tests {
     fn sum_iterator() {
         let total: Watts = [10.0, 20.0, 30.0].iter().map(|&w| Watts::new(w)).sum();
         assert_eq!(total.value(), 60.0);
+    }
+
+    #[test]
+    fn checked_conversions_round_to_nearest() {
+        assert_eq!(usize_from_f64(2.4), Some(2));
+        assert_eq!(usize_from_f64(2.5), Some(3));
+        assert_eq!(u64_from_f64(0.0), Some(0));
+        assert_eq!(u32_from_f64(99.6), Some(100));
+        assert_eq!(u16_from_f64(7.49), Some(7));
+    }
+
+    #[test]
+    fn checked_conversions_reject_invalid_inputs() {
+        assert_eq!(usize_from_f64(-0.6), None);
+        assert_eq!(usize_from_f64(f64::NAN), None);
+        assert_eq!(usize_from_f64(f64::INFINITY), None);
+        assert_eq!(u16_from_f64(70000.0), None);
+        assert_eq!(u32_from_f64(5.0e12), None);
+        assert_eq!(u64_from_f64(1.0e300), None);
+        // Negative-but-rounds-to-zero still rejects: a negative step
+        // count or core count is a bug, not a zero.
+        assert_eq!(u16_from_f64(-0.4), None);
+        // But exact zero and tiny positives are fine.
+        assert_eq!(u16_from_f64(0.4), Some(0));
     }
 
     #[test]

@@ -34,4 +34,14 @@ fi
 echo "==> bench smoke (no timing claims, just 'still runs')"
 cargo test -q -p pbc-bench --benches
 
+echo "==> trace round-trip (sweep accounting law, via a real trace file)"
+cargo test -q -p pbc-core --test trace_roundtrip
+cargo test -q -p pbc-cli --test trace_flag
+
+echo "==> sweep bench (timed; appends machine-readable records to BENCH_sweep.json)"
+rm -f BENCH_sweep.json
+PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench sweep
+test -s BENCH_sweep.json || { echo "error: sweep bench wrote no records" >&2; exit 1; }
+echo "    records: BENCH_sweep.json"
+
 echo "all checks passed"

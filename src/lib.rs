@@ -30,6 +30,9 @@
 //!   the sweep oracle.
 //! * [`experiments`] — regenerates every table and figure of the paper
 //!   (also available as the `repro` binary).
+//! * [`trace`] — dependency-free structured tracing: spans, counters,
+//!   gauges, and a JSON-lines exporter wired through the solver, the
+//!   sweep, and both coordinators (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@ pub use pbc_experiments as experiments;
 pub use pbc_platform as platform;
 pub use pbc_powersim as powersim;
 pub use pbc_rapl as rapl;
+pub use pbc_trace as trace;
 pub use pbc_types as types;
 pub use pbc_workloads as workloads;
 
