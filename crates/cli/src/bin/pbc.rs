@@ -23,6 +23,9 @@ USAGE:
                 --gpu-share F -b WATTS  coordinate a host+card node
   pbc report    -p PLATFORM -w BENCH -b WATTS
                                         markdown coordination report
+  pbc chaos     -p PLATFORM -w BENCH -b WATTS [--plan NAME] [--seed N]
+                [--epochs N]             run a fault plan against the
+                                        online loop, print survival report
   pbc rapl-status                       read real RAPL domains (Linux)
 
 Global options:
@@ -56,6 +59,9 @@ struct Args {
     host_bench: Option<String>,
     gpu_bench: Option<String>,
     gpu_share: Option<f64>,
+    plan: Option<String>,
+    seed: Option<u64>,
+    epochs: Option<usize>,
 }
 
 fn parse(rest: &[String]) -> Result<Args, String> {
@@ -69,6 +75,9 @@ fn parse(rest: &[String]) -> Result<Args, String> {
         host_bench: None,
         gpu_bench: None,
         gpu_share: None,
+        plan: None,
+        seed: None,
+        epochs: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -117,6 +126,26 @@ fn parse(rest: &[String]) -> Result<Args, String> {
                     take(i)?
                         .parse()
                         .map_err(|e| format!("bad gpu share: {e}"))?,
+                );
+                i += 2;
+            }
+            "--plan" => {
+                args.plan = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = Some(
+                    take(i)?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+                i += 2;
+            }
+            "--epochs" => {
+                args.epochs = Some(
+                    take(i)?
+                        .parse()
+                        .map_err(|e| format!("bad epoch count: {e}"))?,
                 );
                 i += 2;
             }
@@ -210,6 +239,18 @@ fn run(argv: &[String]) -> Result<String, String> {
                 &need(a.platform, "-p PLATFORM")?,
                 &need(a.bench, "-w BENCH")?,
                 need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "chaos" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_chaos(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                need(a.budget, "-b WATTS")?,
+                a.plan.as_deref().unwrap_or("everything"),
+                a.seed.unwrap_or(42),
+                a.epochs.unwrap_or(200),
             )
             .map_err(e)
         }

@@ -268,6 +268,27 @@ pub fn cmd_online(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<
     Ok(out)
 }
 
+/// `pbc chaos -p <platform> -w <bench> -b WATTS [--plan NAME] [--seed N] [--epochs N]`
+#[must_use = "the survival report is the command's entire output"]
+pub fn cmd_chaos(
+    platform_slug: &str,
+    bench_slug: &str,
+    budget: f64,
+    plan_name: &str,
+    seed: u64,
+    epochs: usize,
+) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let plan = pbc_faults::FaultPlan::by_name(plan_name, seed).ok_or_else(|| {
+        PbcError::NotFound(format!(
+            "fault plan {plan_name:?}; known: {}",
+            pbc_faults::plan::NAMES.join(", ")
+        ))
+    })?;
+    let report = pbc_faults::run_chaos(&p, bench_slug, Watts::new(budget), &plan, epochs)?;
+    Ok(report.to_string())
+}
+
 /// `pbc hybrid --host <cpu-platform> --card <gpu-platform> --host-bench X --gpu-bench Y --gpu-share F -b WATTS`
 pub fn cmd_hybrid(
     host_slug: &str,

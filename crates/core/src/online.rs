@@ -35,6 +35,16 @@ pub struct OnlineConfig {
     /// Relative performance improvement required to accept a move (guards
     /// against measurement noise in real deployments).
     pub accept_margin: f64,
+    /// Performance surrogates above this are rejected as sensor garbage
+    /// (`perf_rel` is normalized to unbounded performance, so honest
+    /// readings sit in `(0, 1]` with a little calibration headroom).
+    pub max_credible_perf: f64,
+    /// Consecutive over-budget observations tolerated before the
+    /// watchdog degrades to the fallback allocation.
+    pub watchdog_patience: u32,
+    /// Fractional overdraw (`total > budget * (1 + tolerance)`) that
+    /// counts as a budget violation for the watchdog.
+    pub overdraw_tolerance: f64,
 }
 
 impl Default for OnlineConfig {
@@ -48,8 +58,35 @@ impl Default for OnlineConfig {
             min_step: Watts::new(1.0),
             decay: 0.5,
             accept_margin: 0.002,
+            max_credible_perf: 8.0,
+            watchdog_patience: 3,
+            overdraw_tolerance: 0.05,
         }
     }
+}
+
+/// What [`OnlineCoordinator::observe`] did with one reported operating
+/// point. Rejections are counted under `online.rejected_observations`;
+/// watchdog trips under `online.fallbacks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationOutcome {
+    /// The observation passed validation and drove the search.
+    Used,
+    /// Rejected: non-finite or negative performance surrogate (the NaN
+    /// that used to wedge `best` comparisons forever).
+    RejectedNonFinite,
+    /// Rejected: physically implausible (absurd performance, invalid or
+    /// negative component power).
+    RejectedOutOfRange,
+    /// Rejected: the observation's allocation does not match the probe
+    /// we issued — a stale sample, or an enforcement failure left the
+    /// node running on old caps. Judging the probe with it would credit
+    /// the wrong split.
+    RejectedStale,
+    /// Admitted, but it extended an over-budget streak past the
+    /// watchdog's patience: the search degraded to the known-safe
+    /// fallback allocation and restarted.
+    TrippedWatchdog,
 }
 
 /// Where the search currently stands.
@@ -96,12 +133,16 @@ enum Phase {
 pub struct OnlineCoordinator {
     config: OnlineConfig,
     budget: Watts,
+    /// The starting split's proc fraction — the known-safe fallback the
+    /// watchdog returns to (rescaled to the live budget).
+    initial_fraction: f64,
     best: PowerAllocation,
     best_perf: f64,
     pending: Option<PowerAllocation>,
     phase: Phase,
     step: Watts,
     epochs: usize,
+    overdraw_streak: u32,
 }
 
 impl OnlineCoordinator {
@@ -111,12 +152,14 @@ impl OnlineCoordinator {
         Self {
             config,
             budget,
+            initial_fraction: initial.proc_fraction(),
             best: initial,
             best_perf: f64::NEG_INFINITY,
             pending: None,
             phase: Phase::TryTowardProc,
             step: config.step,
             epochs: 0,
+            overdraw_streak: 0,
         }
     }
 
@@ -133,6 +176,70 @@ impl OnlineCoordinator {
     /// Best split found so far.
     pub fn best(&self) -> PowerAllocation {
         self.best
+    }
+
+    /// The node budget the search is currently splitting.
+    pub fn budget(&self) -> Watts {
+        self.budget
+    }
+
+    /// Re-target the search at a new node budget (mid-run budget steps
+    /// are a fact of life on power-bounded clusters — caps get
+    /// re-negotiated while jobs run). The learned proc/mem *ratio* is
+    /// kept, rescaled to the new total, and the search re-opens from
+    /// there: performance must be re-measured because the capping
+    /// scenario may have changed category entirely. Invalid budgets are
+    /// ignored.
+    pub fn set_budget(&mut self, new: Watts) {
+        if !new.is_valid() || new.value() <= 0.0 {
+            return;
+        }
+        if (new - self.budget).abs().value() < 1e-9 {
+            return;
+        }
+        let fraction = self.best.proc_fraction();
+        self.budget = new;
+        self.best = PowerAllocation::split(new, fraction);
+        self.best_perf = f64::NEG_INFINITY;
+        self.pending = None;
+        self.phase = Phase::TryTowardProc;
+        self.step = self.config.step;
+        self.overdraw_streak = 0;
+        pbc_trace::counter(names::ONLINE_BUDGET_RESETS).incr();
+    }
+
+    /// The watchdog's escape hatch: abandon the learned split, return to
+    /// the initial fraction of the live budget, and restart the search.
+    fn fall_back(&mut self) {
+        self.best = PowerAllocation::split(self.budget, self.initial_fraction);
+        self.best_perf = f64::NEG_INFINITY;
+        self.pending = None;
+        self.phase = Phase::TryTowardProc;
+        self.step = self.config.step;
+        self.overdraw_streak = 0;
+        pbc_trace::counter(names::ONLINE_FALLBACKS).incr();
+    }
+
+    /// Does this operating point pass the physical-plausibility gate?
+    fn validate(&self, op: &NodeOperatingPoint, tried: PowerAllocation) -> ObservationOutcome {
+        let perf = op.perf_rel;
+        if !perf.is_finite() || perf < 0.0 {
+            return ObservationOutcome::RejectedNonFinite;
+        }
+        if perf > self.config.max_credible_perf
+            || !op.proc_power.is_valid()
+            || !op.mem_power.is_valid()
+            || op.proc_power.value() < 0.0
+            || op.mem_power.value() < 0.0
+        {
+            return ObservationOutcome::RejectedOutOfRange;
+        }
+        let stale = (op.alloc.proc - tried.proc).abs().value() > 1e-6
+            || (op.alloc.mem - tried.mem).abs().value() > 1e-6;
+        if stale {
+            return ObservationOutcome::RejectedStale;
+        }
+        ObservationOutcome::Used
     }
 
     /// The split to apply for the next epoch.
@@ -194,18 +301,49 @@ impl OnlineCoordinator {
 
     /// Report the operating point observed while running the allocation
     /// returned by the last [`Self::next_allocation`].
-    pub fn observe(&mut self, op: &NodeOperatingPoint) {
+    ///
+    /// The observation is validated before it can steer the search:
+    /// non-finite/negative surrogates, physically implausible readings,
+    /// and samples whose allocation does not match the issued probe are
+    /// rejected (counted under `online.rejected_observations`) and the
+    /// probe is voided — [`Self::next_allocation`] will deterministically
+    /// re-propose it. Admitted observations also feed the budget
+    /// watchdog: a streak of over-budget draws longer than
+    /// [`OnlineConfig::watchdog_patience`] degrades the search to the
+    /// known-safe fallback allocation.
+    pub fn observe(&mut self, op: &NodeOperatingPoint) -> ObservationOutcome {
         self.epochs += 1;
         pbc_trace::counter(names::ONLINE_EPOCHS).incr();
         let Some(tried) = self.pending.take() else {
-            return;
+            return ObservationOutcome::Used;
         };
+        let verdict = self.validate(op, tried);
+        if verdict != ObservationOutcome::Used {
+            pbc_trace::counter(names::ONLINE_REJECTED_OBSERVATIONS).incr();
+            // The probe is void, not judged: the phase is untouched and
+            // the same candidate will be re-proposed next epoch.
+            return verdict;
+        }
+        // Budget watchdog: an admitted observation drawing persistently
+        // over budget means enforcement is not holding (failed writes,
+        // stuck caps) — retreat to a split that was known safe rather
+        // than keep climbing on a node that is out of contract.
+        if op.total_power().value() > self.budget.value() * (1.0 + self.config.overdraw_tolerance)
+        {
+            self.overdraw_streak += 1;
+            if self.overdraw_streak >= self.config.watchdog_patience {
+                self.fall_back();
+                return ObservationOutcome::TrippedWatchdog;
+            }
+        } else {
+            self.overdraw_streak = 0;
+        }
         let perf = op.perf_rel;
         if self.best_perf == f64::NEG_INFINITY {
             // Baseline measurement of the starting point.
             self.best_perf = perf;
             pbc_trace::gauge(names::ONLINE_BEST_PERF).set(perf);
-            return;
+            return ObservationOutcome::Used;
         }
         let improved = perf > self.best_perf * (1.0 + self.config.accept_margin);
         match self.phase {
@@ -233,6 +371,7 @@ impl OnlineCoordinator {
             self.best.total().value() <= self.budget.value() + 1e-6,
             "online coordinator drifted over budget"
         );
+        ObservationOutcome::Used
     }
 }
 
@@ -344,6 +483,145 @@ mod tests {
         let b = coord.next_allocation();
         assert_eq!(a, coord.best());
         assert_eq!(a, b);
+    }
+
+    /// The satellite bug: a NaN performance surrogate used to flow into
+    /// the `best_perf` comparison and wedge the search permanently. Now
+    /// it is rejected, the probe is re-proposed, and the search still
+    /// converges.
+    #[test]
+    fn nan_observations_are_rejected_not_absorbed() {
+        let platform = ivybridge();
+        let demand = by_name("stream").unwrap().demand;
+        let budget = Watts::new(208.0);
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        );
+        let mut rejected = 0usize;
+        for epoch in 0..300 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            let mut op = solve(&platform, &demand, alloc).unwrap();
+            // Poison every third epoch with sensor garbage.
+            let outcome = if epoch % 3 == 1 {
+                op.perf_rel = f64::NAN;
+                coord.observe(&op)
+            } else if epoch % 3 == 2 {
+                op.perf_rel = 1e9;
+                coord.observe(&op)
+            } else {
+                coord.observe(&op)
+            };
+            if outcome != ObservationOutcome::Used {
+                rejected += 1;
+            }
+        }
+        assert!(coord.converged(), "poisoned search must still converge");
+        assert!(rejected > 0);
+        assert!(coord.best().total().value() <= 208.0 + 1e-6);
+        let perf = solve(&platform, &demand, coord.best()).unwrap().perf_rel;
+        assert!(perf > 0.85, "converged perf {perf}");
+    }
+
+    #[test]
+    fn stale_observations_void_the_probe() {
+        let platform = ivybridge();
+        let demand = by_name("sra").unwrap().demand;
+        let budget = Watts::new(200.0);
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        );
+        // Baseline first.
+        let a0 = coord.next_allocation();
+        let op0 = solve(&platform, &demand, a0).unwrap();
+        assert_eq!(coord.observe(&op0), ObservationOutcome::Used);
+        // Probe, but report an operating point from a *different* split
+        // (the node ran on old caps because enforcement failed).
+        let probe = coord.next_allocation();
+        let stale = solve(&platform, &demand, a0.shift_to_proc(Watts::new(30.0))).unwrap();
+        assert_eq!(coord.observe(&stale), ObservationOutcome::RejectedStale);
+        // The voided probe is re-proposed, bit-identical.
+        assert_eq!(coord.next_allocation(), probe);
+    }
+
+    #[test]
+    fn watchdog_falls_back_on_persistent_overdraw() {
+        let platform = ivybridge();
+        let demand = by_name("stream").unwrap().demand;
+        let budget = Watts::new(208.0);
+        let start = PowerAllocation::split(budget, 0.5);
+        let mut coord = OnlineCoordinator::new(budget, start, OnlineConfig::default());
+        let patience = OnlineConfig::default().watchdog_patience;
+        let mut tripped = false;
+        for _ in 0..(patience + 2) {
+            let alloc = coord.next_allocation();
+            let mut op = solve(&platform, &demand, alloc).unwrap();
+            // Fake a node drawing way over budget despite the caps.
+            op.proc_power = Watts::new(200.0);
+            op.mem_power = Watts::new(100.0);
+            if coord.observe(&op) == ObservationOutcome::TrippedWatchdog {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "watchdog must trip within patience+2 epochs");
+        // Degraded to the initial fraction of the live budget...
+        assert_eq!(coord.best(), start);
+        // ...and the search is re-opened, not converged.
+        assert!(!coord.converged());
+    }
+
+    #[test]
+    fn budget_change_reopens_the_search_and_rescales() {
+        let platform = ivybridge();
+        let demand = by_name("stream").unwrap().demand;
+        let budget = Watts::new(208.0);
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        );
+        for _ in 0..200 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+        }
+        assert!(coord.converged());
+        let settled_fraction = coord.best().proc_fraction();
+        let cut = Watts::new(160.0);
+        coord.set_budget(cut);
+        assert!(!coord.converged(), "budget change must re-open the search");
+        assert_eq!(coord.budget(), cut);
+        // Rescaled, ratio preserved, within the new budget immediately.
+        assert!((coord.best().proc_fraction() - settled_fraction).abs() < 1e-9);
+        assert!(coord.best().total().value() <= cut.value() + 1e-9);
+        // And it re-converges under the new budget.
+        for _ in 0..200 {
+            if coord.converged() {
+                break;
+            }
+            let alloc = coord.next_allocation();
+            assert!(alloc.total().value() <= cut.value() + 1e-9);
+            let op = solve(&platform, &demand, alloc).unwrap();
+            coord.observe(&op);
+        }
+        assert!(coord.converged());
+        // No-ops: same budget, invalid budget.
+        let best = coord.best();
+        coord.set_budget(cut);
+        coord.set_budget(Watts::new(-5.0));
+        coord.set_budget(Watts::new(f64::NAN));
+        assert_eq!(coord.best(), best);
+        assert!(coord.converged());
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Fault plans: the pure-data description of *what goes wrong when*.
+//!
+//! A [`FaultPlan`] is a replayable scenario: probabilistic fault kinds
+//! are confined to deterministic tick windows, and scheduled events
+//! (budget steps, phase shifts) fire at exact ticks. Which individual
+//! sample or write gets hit inside a window is decided by seed-derived
+//! randomness (see [`crate::inject`]), but the *shape* of the storm is
+//! fixed — so properties like "budget steps never coincide with write
+//! faults" hold at every seed, not just lucky ones.
+
+use pbc_types::{PbcError, Result};
+
+/// A half-open tick interval `[from, until)` during which a fault kind
+/// is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First tick (inclusive) the fault can fire.
+    pub from: usize,
+    /// First tick (exclusive) after which it no longer fires.
+    pub until: usize,
+}
+
+impl FaultWindow {
+    /// An interval that never fires.
+    pub const NEVER: Self = Self { from: 0, until: 0 };
+
+    /// Construct `[from, until)`.
+    #[must_use]
+    pub const fn new(from: usize, until: usize) -> Self {
+        Self { from, until }
+    }
+
+    /// Is the window armed at `tick`?
+    #[must_use]
+    pub fn active(&self, tick: usize) -> bool {
+        tick >= self.from && tick < self.until
+    }
+
+    /// True when the window can never fire.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.until <= self.from
+    }
+}
+
+/// Sensor corruption on the operating points the coordinator observes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaults {
+    /// Probability an in-window observation is perturbed by
+    /// multiplicative noise.
+    pub noise_prob: f64,
+    /// Noise amplitude: each corrupted field is scaled by a factor in
+    /// `[1 - noise_frac, 1 + noise_frac]`.
+    pub noise_frac: f64,
+    /// Probability an in-window observation is replaced by the previous
+    /// clean one (a stale sample from a slow telemetry pipe).
+    pub stale_prob: f64,
+    /// Probability an in-window observation drops out entirely and a
+    /// garbage surrogate (NaN, negative, absurd) is reported instead.
+    pub dropout_prob: f64,
+    /// When sensor faults are armed.
+    pub window: FaultWindow,
+}
+
+impl SensorFaults {
+    /// No sensor faults, ever.
+    pub const NONE: Self = Self {
+        noise_prob: 0.0,
+        noise_frac: 0.0,
+        stale_prob: 0.0,
+        dropout_prob: 0.0,
+        window: FaultWindow::NEVER,
+    };
+}
+
+/// Failures injected into enforcement cap writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteFaults {
+    /// Probability an in-window cap write fails transiently (1–2
+    /// attempts fail, then it lands — retries absorb it).
+    pub transient_prob: f64,
+    /// Probability an in-window cap write fails permanently (every
+    /// attempt fails — the transaction must roll back).
+    pub permanent_prob: f64,
+    /// When write faults are armed.
+    pub window: FaultWindow,
+}
+
+impl WriteFaults {
+    /// No write faults, ever.
+    pub const NONE: Self = Self {
+        transient_prob: 0.0,
+        permanent_prob: 0.0,
+        window: FaultWindow::NEVER,
+    };
+}
+
+/// A scheduled change of the node budget: at tick `at`, `P_b` becomes
+/// `factor` times the plan's *initial* budget (factors are absolute
+/// w.r.t. the start, not cumulative, so plans read declaratively).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetStep {
+    /// Tick at which the new budget takes effect.
+    pub at: usize,
+    /// Multiplier on the initial budget (e.g. `0.75` = 25 % cut,
+    /// `1.0` = restore).
+    pub factor: f64,
+}
+
+/// A scheduled workload change: at tick `at`, the running application
+/// starts behaving like benchmark `bench` (by catalog slug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseShift {
+    /// Tick at which the workload changes character.
+    pub at: usize,
+    /// Catalog slug of the new behaviour (`pbc_workloads::by_name`).
+    pub bench: String,
+}
+
+/// A complete, replayable fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Plan name (the CLI and reports identify scenarios by it).
+    pub name: String,
+    /// Seed for every probabilistic decision the plan makes.
+    pub seed: u64,
+    /// Sensor corruption.
+    pub sensor: SensorFaults,
+    /// Enforcement write failures.
+    pub writes: WriteFaults,
+    /// Scheduled budget changes, in tick order.
+    pub budget_steps: Vec<BudgetStep>,
+    /// Scheduled workload changes, in tick order.
+    pub phase_shifts: Vec<PhaseShift>,
+}
+
+/// The named plans [`FaultPlan::by_name`] knows, in escalation order.
+pub const NAMES: [&str; 5] = [
+    "calm",
+    "noisy-sensors",
+    "flaky-writes",
+    "budget-storm",
+    "everything",
+];
+
+impl FaultPlan {
+    /// The control scenario: nothing goes wrong. A chaos run under
+    /// `calm` must look exactly like an ordinary online-tuning run.
+    #[must_use]
+    pub fn calm(seed: u64) -> Self {
+        Self {
+            name: "calm".into(),
+            seed,
+            sensor: SensorFaults::NONE,
+            writes: WriteFaults::NONE,
+            budget_steps: Vec::new(),
+            phase_shifts: Vec::new(),
+        }
+    }
+
+    /// Telemetry degrades for a long stretch: noise, stale replays, and
+    /// hard dropouts on the observations, while enforcement stays
+    /// healthy.
+    #[must_use]
+    pub fn noisy_sensors(seed: u64) -> Self {
+        Self {
+            name: "noisy-sensors".into(),
+            seed,
+            sensor: SensorFaults {
+                noise_prob: 0.35,
+                noise_frac: 0.2,
+                stale_prob: 0.15,
+                dropout_prob: 0.15,
+                window: FaultWindow::new(10, 120),
+            },
+            writes: WriteFaults::NONE,
+            budget_steps: Vec::new(),
+            phase_shifts: Vec::new(),
+        }
+    }
+
+    /// The powercap interface misbehaves: a window where cap writes fail
+    /// transiently (retries absorb them) and occasionally permanently
+    /// (the transaction rolls back and the node keeps its old caps).
+    #[must_use]
+    pub fn flaky_writes(seed: u64) -> Self {
+        Self {
+            name: "flaky-writes".into(),
+            seed,
+            sensor: SensorFaults::NONE,
+            writes: WriteFaults {
+                transient_prob: 0.3,
+                permanent_prob: 0.08,
+                window: FaultWindow::new(10, 100),
+            },
+            budget_steps: Vec::new(),
+            phase_shifts: Vec::new(),
+        }
+    }
+
+    /// The cluster manager re-negotiates the budget mid-run (cut, deeper
+    /// cut, restore) and the application changes character once — no
+    /// sensor or write faults, isolating the re-convergence machinery.
+    #[must_use]
+    pub fn budget_storm(seed: u64) -> Self {
+        Self {
+            name: "budget-storm".into(),
+            seed,
+            sensor: SensorFaults::NONE,
+            writes: WriteFaults::NONE,
+            budget_steps: vec![
+                BudgetStep { at: 40, factor: 0.8 },
+                BudgetStep { at: 80, factor: 0.7 },
+                BudgetStep { at: 120, factor: 1.0 },
+            ],
+            phase_shifts: vec![PhaseShift {
+                at: 60,
+                bench: "dgemm".into(),
+            }],
+        }
+    }
+
+    /// Everything at once. Budget steps are deliberately placed *outside*
+    /// the write-fault window: a budget cut that lands in the same tick
+    /// as a permanent write failure leaves an irreducible violation
+    /// window (the rollback restores caps that were only compliant with
+    /// the *old* budget), and shipped plans must hold the budget
+    /// invariant at every seed, not most of them. The adversarial
+    /// overlap is exercised separately by the property tests.
+    #[must_use]
+    pub fn everything(seed: u64) -> Self {
+        Self {
+            name: "everything".into(),
+            seed,
+            sensor: SensorFaults {
+                noise_prob: 0.3,
+                noise_frac: 0.15,
+                stale_prob: 0.1,
+                dropout_prob: 0.1,
+                window: FaultWindow::new(10, 60),
+            },
+            writes: WriteFaults {
+                transient_prob: 0.25,
+                permanent_prob: 0.08,
+                window: FaultWindow::new(20, 70),
+            },
+            budget_steps: vec![
+                BudgetStep { at: 80, factor: 0.75 },
+                BudgetStep { at: 120, factor: 1.0 },
+            ],
+            phase_shifts: vec![PhaseShift {
+                at: 60,
+                bench: "dgemm".into(),
+            }],
+        }
+    }
+
+    /// Look up a canned plan by name (see [`NAMES`]).
+    #[must_use]
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "calm" => Some(Self::calm(seed)),
+            "noisy-sensors" => Some(Self::noisy_sensors(seed)),
+            "flaky-writes" => Some(Self::flaky_writes(seed)),
+            "budget-storm" => Some(Self::budget_storm(seed)),
+            "everything" => Some(Self::everything(seed)),
+            _ => None,
+        }
+    }
+
+    /// The tick after which the plan injects nothing: windows closed,
+    /// all scheduled events fired. The harness uses it to check the loop
+    /// re-converges once faults clear.
+    #[must_use]
+    pub fn quiet_after(&self) -> usize {
+        let mut t = self.sensor.window.until.max(self.writes.window.until);
+        for s in &self.budget_steps {
+            t = t.max(s.at + 1);
+        }
+        for s in &self.phase_shifts {
+            t = t.max(s.at + 1);
+        }
+        t
+    }
+
+    /// Validate probabilities, windows, and schedules.
+    #[must_use = "an invalid plan must not be run"]
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            ("sensor.noise_prob", self.sensor.noise_prob),
+            ("sensor.stale_prob", self.sensor.stale_prob),
+            ("sensor.dropout_prob", self.sensor.dropout_prob),
+            ("writes.transient_prob", self.writes.transient_prob),
+            ("writes.permanent_prob", self.writes.permanent_prob),
+        ];
+        for (what, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: {what} = {p} is not a probability",
+                    self.name
+                )));
+            }
+        }
+        let sensor_sum =
+            self.sensor.noise_prob + self.sensor.stale_prob + self.sensor.dropout_prob;
+        if sensor_sum > 1.0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: sensor fault probabilities sum to {sensor_sum} > 1",
+                self.name
+            )));
+        }
+        if self.writes.transient_prob + self.writes.permanent_prob > 1.0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: write fault probabilities sum past 1",
+                self.name
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.sensor.noise_frac) {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: noise_frac {} out of [0, 1]",
+                self.name, self.sensor.noise_frac
+            )));
+        }
+        for s in &self.budget_steps {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: budget factor {} at tick {} must be positive",
+                    self.name, s.factor, s.at
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = FaultWindow::new(10, 20);
+        assert!(!w.active(9));
+        assert!(w.active(10));
+        assert!(w.active(19));
+        assert!(!w.active(20));
+        assert!(FaultWindow::NEVER.is_empty());
+        assert!(!FaultWindow::NEVER.active(0));
+    }
+
+    #[test]
+    fn every_named_plan_resolves_and_validates() {
+        for name in NAMES {
+            let plan = FaultPlan::by_name(name, 42).unwrap();
+            assert_eq!(plan.name, name);
+            assert_eq!(plan.validate(), Ok(()));
+        }
+        assert!(FaultPlan::by_name("nope", 1).is_none());
+    }
+
+    /// The seed-independence of the budget invariant rests on this:
+    /// shipped plans never arm write faults at a tick where the budget
+    /// steps.
+    #[test]
+    fn shipped_plans_never_step_budget_inside_a_write_window() {
+        for name in NAMES {
+            let plan = FaultPlan::by_name(name, 1).unwrap();
+            for step in &plan.budget_steps {
+                assert!(
+                    !plan.writes.window.active(step.at),
+                    "{name}: budget step at {} inside write window",
+                    step.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_after_covers_all_activity() {
+        let plan = FaultPlan::everything(7);
+        let q = plan.quiet_after();
+        assert_eq!(q, 121); // last budget step at 120
+        assert!(q > plan.sensor.window.until);
+        assert!(q > plan.writes.window.until);
+        assert_eq!(FaultPlan::calm(7).quiet_after(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let mut plan = FaultPlan::noisy_sensors(1);
+        plan.sensor.noise_prob = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::noisy_sensors(1);
+        plan.sensor.noise_prob = 0.6;
+        plan.sensor.stale_prob = 0.3;
+        plan.sensor.dropout_prob = 0.2;
+        assert!(plan.validate().is_err(), "sum > 1 must be rejected");
+        let mut plan = FaultPlan::budget_storm(1);
+        plan.budget_steps[0].factor = -0.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::budget_storm(1);
+        plan.budget_steps[0].factor = f64::NAN;
+        assert!(plan.validate().is_err());
+    }
+}

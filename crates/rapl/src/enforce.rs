@@ -5,11 +5,19 @@
 //! share is divided evenly across package domains (the paper's assumption
 //! (b)) and the memory share across DRAM subdomains (assumption (c)).
 //!
-//! [`enforce`] is transactional in spirit: it validates every target
-//! domain first and reports per-domain results, so a permissions failure
-//! on one socket doesn't leave the caller guessing what was applied.
+//! [`enforce`] is genuinely **transactional**: prior limits are snapshotted
+//! before anything is written, cap *decreases* are applied before cap
+//! *increases* (so no intermediate state ever totals more than
+//! `max(before, after)`), transient write failures are retried with capped
+//! exponential backoff, and a permanent failure rolls every
+//! already-programmed domain back to its snapshot — a half-applied
+//! allocation can never silently exceed the budget. Progress is observable
+//! through the `enforce.*` counters (`pbc_trace::names`):
+//! `enforce.rollbacks` must equal `enforce.permanent_failures` on every
+//! run, the contract the chaos smoke gate asserts.
 
 use crate::{DomainKind, RaplDomain, RaplSysfs};
+use pbc_trace::names;
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
 
 /// What was programmed into one domain.
@@ -23,56 +31,268 @@ pub struct AppliedCap {
     pub limit: Watts,
 }
 
+/// Retry/backoff policy for individual cap writes.
+///
+/// A write that fails is retried up to `max_attempts - 1` times; the
+/// delay before retry `i` (0-based) is `min(backoff_cap_ms,
+/// backoff_base_ms << i)` milliseconds. Tests and the chaos harness use
+/// [`RetryPolicy::no_backoff`] so injected fault storms replay at full
+/// speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per domain write (at least 1).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default attempt count with zero sleep between retries.
+    #[must_use]
+    pub const fn no_backoff() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        }
+    }
+
+    /// Backoff before 0-based retry `i`, in milliseconds.
+    #[must_use]
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let shifted = self
+            .backoff_base_ms
+            .checked_shl(retry.min(63))
+            .unwrap_or(u64::MAX);
+        shifted.min(self.backoff_cap_ms)
+    }
+}
+
+/// Outcome of one enforcement transaction (see [`enforce_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnforceReport {
+    /// Caps that are programmed *and still standing* when the call
+    /// returns. On success: one entry per target domain. On a rolled-back
+    /// failure: only the domains whose best-effort restore itself failed
+    /// (normally none).
+    pub applied: Vec<AppliedCap>,
+    /// Individual write retries consumed by transient failures.
+    pub retries: u32,
+    /// Whether a permanent failure triggered the rollback path.
+    pub rolled_back: bool,
+    /// Rollback restores that themselves failed (those domains keep the
+    /// new cap and stay listed in `applied`).
+    pub rollback_errors: u32,
+    /// The failure that aborted the transaction, if any.
+    pub error: Option<PbcError>,
+}
+
+impl EnforceReport {
+    /// Did the whole transaction commit?
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Collapse to the classic `Result` shape: the applied caps on
+    /// commit, the aborting error on rollback.
+    #[must_use = "discarding the result loses both the caps and the error"]
+    pub fn into_result(self) -> Result<Vec<AppliedCap>> {
+        match self.error {
+            None => Ok(self.applied),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// A cap write that can be intercepted (fault injection, dry runs).
+/// The default writer is [`RaplDomain::set_power_limit`].
+pub type CapWriter<'a> = dyn FnMut(&RaplDomain, Watts) -> Result<()> + 'a;
+
 /// Divide an allocation across the discovered domains and program the
-/// constraint-0 power limits. Returns one entry per domain written.
+/// constraint-0 power limits transactionally with the default
+/// [`RetryPolicy`]. Returns one entry per domain written; on permanent
+/// failure every already-written domain is rolled back and the error is
+/// returned.
 ///
 /// Errors with [`PbcError::BackendUnavailable`] when the topology lacks
-/// package or DRAM domains, and with [`PbcError::Io`] on the first write
-/// failure (typically permissions — writing powercap limits needs root).
+/// package or DRAM domains, and with [`PbcError::Io`] when a write fails
+/// permanently (typically permissions — writing powercap limits needs
+/// root).
+#[must_use = "unchecked enforcement can leave the node on stale caps"]
 pub fn enforce(rapl: &RaplSysfs, alloc: PowerAllocation) -> Result<Vec<AppliedCap>> {
+    enforce_with(rapl, alloc, &RetryPolicy::default(), &mut |d, w| {
+        d.set_power_limit(w)
+    })
+    .into_result()
+}
+
+/// One planned domain write, ordered decreases-first.
+struct Planned<'a> {
+    domain: &'a RaplDomain,
+    target: Watts,
+    prior: Watts,
+}
+
+/// The transactional core behind [`enforce`]: explicit retry policy and
+/// an injectable writer so tests and the chaos harness can interpose
+/// failures between the decision and the (mock) hardware.
+///
+/// The write order is **decreases first**: every intermediate state
+/// totals at most `max(prior total, target total)`, so a transaction
+/// interrupted mid-flight can never push the node *above* both the old
+/// and the new budget at once.
+pub fn enforce_with(
+    rapl: &RaplSysfs,
+    alloc: PowerAllocation,
+    policy: &RetryPolicy,
+    write: &mut CapWriter<'_>,
+) -> EnforceReport {
+    pbc_trace::counter(names::ENFORCE_ATTEMPTS).incr();
+    let mut report = EnforceReport {
+        applied: Vec::new(),
+        retries: 0,
+        rolled_back: false,
+        rollback_errors: 0,
+        error: None,
+    };
     if !alloc.is_valid() || alloc.proc.value() <= 0.0 || alloc.mem.value() <= 0.0 {
-        return Err(PbcError::InvalidInput(format!(
+        report.error = Some(PbcError::InvalidInput(format!(
             "allocation must be strictly positive, got {alloc}"
         )));
+        return report;
     }
     let packages: Vec<&RaplDomain> = rapl.packages().collect();
     let drams: Vec<&RaplDomain> = rapl.dram().collect();
-    if packages.is_empty() {
-        return Err(PbcError::BackendUnavailable(
-            "no package domains discovered".into(),
+    if packages.is_empty() || drams.is_empty() {
+        report.error = Some(PbcError::BackendUnavailable(
+            "topology lacks package or DRAM domains".into(),
         ));
-    }
-    if drams.is_empty() {
-        return Err(PbcError::BackendUnavailable(
-            "no DRAM domains discovered".into(),
-        ));
+        return report;
     }
     let per_pkg = alloc.proc / packages.len() as f64;
     let per_dram = alloc.mem / drams.len() as f64;
 
-    let mut applied = Vec::with_capacity(packages.len() + drams.len());
-    for d in packages {
-        d.set_power_limit(per_pkg)?;
-        applied.push(AppliedCap {
-            domain: d.name.clone(),
-            kind: d.kind,
-            limit: per_pkg,
-        });
+    // Snapshot every prior limit before touching anything: the rollback
+    // targets, and the sort key for the decreases-first ordering.
+    let mut plan = Vec::with_capacity(packages.len() + drams.len());
+    for (list, target) in [(&packages, per_pkg), (&drams, per_dram)] {
+        for d in list.iter() {
+            match d.power_limit() {
+                Ok(prior) => plan.push(Planned {
+                    domain: d,
+                    target,
+                    prior,
+                }),
+                Err(e) => {
+                    report.error = Some(PbcError::Io(format!(
+                        "cannot snapshot prior limit of {}: {e}",
+                        d.name
+                    )));
+                    return report;
+                }
+            }
+        }
     }
-    for d in drams {
-        d.set_power_limit(per_dram)?;
-        applied.push(AppliedCap {
-            domain: d.name.clone(),
-            kind: d.kind,
-            limit: per_dram,
-        });
+    plan.sort_by(|a, b| {
+        let da = (a.target - a.prior).value();
+        let db = (b.target - b.prior).value();
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let retries_counter = pbc_trace::counter(names::ENFORCE_RETRIES);
+    let mut done: Vec<&Planned<'_>> = Vec::with_capacity(plan.len());
+    for p in &plan {
+        match write_with_retry(p.domain, p.target, policy, write, &mut report.retries) {
+            Ok(()) => {
+                done.push(p);
+                report.applied.push(AppliedCap {
+                    domain: p.domain.name.clone(),
+                    kind: p.domain.kind,
+                    limit: p.target,
+                });
+            }
+            Err(e) => {
+                pbc_trace::counter(names::ENFORCE_PERMANENT_FAILURES).incr();
+                pbc_trace::counter(names::ENFORCE_ROLLBACKS).incr();
+                report.rolled_back = true;
+                // Best-effort restore, newest write first. A domain whose
+                // restore fails keeps the new cap and stays in `applied`
+                // so the caller can see exactly what is still programmed.
+                let mut standing = Vec::new();
+                for q in done.iter().rev() {
+                    match write_with_retry(q.domain, q.prior, policy, write, &mut report.retries)
+                    {
+                        Ok(()) => {}
+                        Err(_) => {
+                            report.rollback_errors += 1;
+                            pbc_trace::counter(names::ENFORCE_ROLLBACK_ERRORS).incr();
+                            standing.push(AppliedCap {
+                                domain: q.domain.name.clone(),
+                                kind: q.domain.kind,
+                                limit: q.target,
+                            });
+                        }
+                    }
+                }
+                report.applied = standing;
+                report.error = Some(PbcError::Io(format!(
+                    "cap write on {} failed permanently after {} attempts ({e}); \
+                     transaction rolled back ({} restore failure(s))",
+                    p.domain.name, policy.max_attempts, report.rollback_errors
+                )));
+                return report;
+            }
+        }
     }
-    Ok(applied)
+    drop(retries_counter);
+    report
+}
+
+/// Attempt one domain write under the retry policy, counting retries
+/// into both the trace registry and the caller's tally.
+fn write_with_retry(
+    domain: &RaplDomain,
+    limit: Watts,
+    policy: &RetryPolicy,
+    write: &mut CapWriter<'_>,
+    retries: &mut u32,
+) -> Result<()> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            *retries += 1;
+            pbc_trace::counter(names::ENFORCE_RETRIES).incr();
+            let ms = policy.backoff_ms(attempt - 1);
+            if ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        match write(domain, limit) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| PbcError::Io("write failed with no error detail".into())))
 }
 
 /// Read back the currently programmed limits as an aggregate allocation
 /// (the inverse of [`enforce`]): sum of package limits and sum of DRAM
 /// limits.
+#[must_use = "the read-back allocation is the whole point of calling this"]
 pub fn current_allocation(rapl: &RaplSysfs) -> Result<PowerAllocation> {
     let mut proc = Watts::ZERO;
     let mut mem = Watts::ZERO;
@@ -102,30 +322,9 @@ pub fn current_allocation(rapl: &RaplSysfs) -> Result<PowerAllocation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mock;
     use std::fs;
-    use std::path::{Path, PathBuf};
-
-    fn fixture(root: &Path, with_dram: bool) {
-        let dirs: Vec<(&str, &str)> = if with_dram {
-            vec![
-                ("intel-rapl:0", "package-0"),
-                ("intel-rapl:0:0", "dram"),
-                ("intel-rapl:1", "package-1"),
-                ("intel-rapl:1:0", "dram"),
-            ]
-        } else {
-            vec![("intel-rapl:0", "package-0")]
-        };
-        for (dir, name) in dirs {
-            let d = root.join(dir);
-            fs::create_dir_all(&d).unwrap();
-            fs::write(d.join("name"), format!("{name}\n")).unwrap();
-            fs::write(d.join("energy_uj"), "1\n").unwrap();
-            fs::write(d.join("max_energy_range_uj"), "262143328850\n").unwrap();
-            fs::write(d.join("constraint_0_power_limit_uw"), "115000000\n").unwrap();
-            fs::write(d.join("constraint_0_time_window_us"), "976\n").unwrap();
-        }
-    }
+    use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("pbc-enforce-{tag}-{}", std::process::id()));
@@ -134,11 +333,16 @@ mod tests {
         d
     }
 
+    fn mock_rapl(tag: &str, packages: usize) -> (PathBuf, RaplSysfs) {
+        let root = tmpdir(tag);
+        mock::sysfs_tree(&root, packages, 1).unwrap();
+        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        (root, rapl)
+    }
+
     #[test]
     fn enforce_divides_across_domains() {
-        let root = tmpdir("divide");
-        fixture(&root, true);
-        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        let (root, rapl) = mock_rapl("divide", 2);
         let applied = enforce(
             &rapl,
             PowerAllocation::new(Watts::new(110.0), Watts::new(84.0)),
@@ -164,7 +368,7 @@ mod tests {
     #[test]
     fn enforce_requires_both_domain_kinds() {
         let root = tmpdir("nodram");
-        fixture(&root, false);
+        mock::sysfs_tree(&root, 1, 0).unwrap();
         let rapl = RaplSysfs::discover_at(&root).unwrap();
         let err = enforce(
             &rapl,
@@ -178,11 +382,138 @@ mod tests {
 
     #[test]
     fn enforce_rejects_degenerate_allocations() {
-        let root = tmpdir("degenerate");
-        fixture(&root, true);
-        let rapl = RaplSysfs::discover_at(&root).unwrap();
+        let (root, rapl) = mock_rapl("degenerate", 2);
         assert!(enforce(&rapl, PowerAllocation::new(Watts::ZERO, Watts::new(50.0))).is_err());
         assert!(enforce(&rapl, PowerAllocation::new(Watts::new(-5.0), Watts::new(50.0))).is_err());
         fs::remove_dir_all(root).unwrap();
+    }
+
+    /// The regression the transactional rewrite exists for: a write that
+    /// fails on a *later* domain must not leave the earlier domains
+    /// programmed with the new caps.
+    #[test]
+    fn permanent_failure_rolls_every_domain_back() {
+        let (root, rapl) = mock_rapl("rollback", 2);
+        let before = current_allocation(&rapl).unwrap();
+        let mut write_log = Vec::new();
+        let report = enforce_with(
+            &rapl,
+            PowerAllocation::new(Watts::new(80.0), Watts::new(30.0)),
+            &RetryPolicy::no_backoff(),
+            &mut |d, w| {
+                write_log.push((d.name.clone(), w));
+                if d.name == "package-1" && (w.value() - 40.0).abs() < 1e-9 {
+                    Err(PbcError::Io("injected permanent failure".into()))
+                } else {
+                    d.set_power_limit(w)
+                }
+            },
+        );
+        assert!(!report.is_ok());
+        assert!(report.rolled_back);
+        assert_eq!(report.rollback_errors, 0);
+        assert!(report.applied.is_empty(), "rolled-back caps must not be reported standing");
+        // Retried max_attempts times on the failing domain.
+        assert_eq!(report.retries, RetryPolicy::no_backoff().max_attempts - 1);
+        // Every domain reads back its prior limit — all-or-nothing.
+        let after = current_allocation(&rapl).unwrap();
+        assert!((after.proc.value() - before.proc.value()).abs() < 1e-9);
+        assert!((after.mem.value() - before.mem.value()).abs() < 1e-9);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn transient_failures_are_absorbed_by_retries() {
+        let (root, rapl) = mock_rapl("transient", 2);
+        let mut failures_left = 3u32; // < max_attempts per domain
+        let report = enforce_with(
+            &rapl,
+            PowerAllocation::new(Watts::new(100.0), Watts::new(60.0)),
+            &RetryPolicy::no_backoff(),
+            &mut |d, w| {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(PbcError::Io("injected transient failure".into()))
+                } else {
+                    d.set_power_limit(w)
+                }
+            },
+        );
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(report.applied.len(), 4);
+        assert_eq!(report.retries, 3);
+        assert!(!report.rolled_back);
+        let back = current_allocation(&rapl).unwrap();
+        assert!((back.total().value() - 160.0).abs() < 1e-6);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    /// Decreases-first ordering: with the mock tree at 115 W everywhere,
+    /// an allocation that cuts DRAM and raises packages must write the
+    /// DRAM domains before the packages.
+    #[test]
+    fn cap_decreases_are_written_before_increases() {
+        let (root, rapl) = mock_rapl("ordering", 2);
+        let mut order = Vec::new();
+        let report = enforce_with(
+            &rapl,
+            // per-pkg 130 (increase from 115), per-dram 40 (decrease).
+            PowerAllocation::new(Watts::new(260.0), Watts::new(80.0)),
+            &RetryPolicy::no_backoff(),
+            &mut |d, w| {
+                order.push(d.name.clone());
+                d.set_power_limit(w)
+            },
+        );
+        assert!(report.is_ok());
+        assert_eq!(order.len(), 4);
+        assert!(
+            order[..2].iter().all(|n| n == "dram"),
+            "decreases (dram) must come first: {order:?}"
+        );
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    /// A restore that itself fails leaves that domain in `applied` and is
+    /// counted, so the caller knows exactly what is still programmed.
+    #[test]
+    fn failed_restore_is_reported_not_hidden() {
+        let (root, rapl) = mock_rapl("restorefail", 2);
+        let mut dram_writes = 0u32;
+        let report = enforce_with(
+            &rapl,
+            PowerAllocation::new(Watts::new(80.0), Watts::new(30.0)),
+            &RetryPolicy::no_backoff(),
+            &mut |d, w| {
+                if d.name == "dram" {
+                    dram_writes += 1;
+                    // First dram target write succeeds; everything after
+                    // (second dram target, then the restore) fails.
+                    if dram_writes == 1 {
+                        return d.set_power_limit(w);
+                    }
+                    return Err(PbcError::Io("injected".into()));
+                }
+                d.set_power_limit(w)
+            },
+        );
+        assert!(!report.is_ok());
+        assert!(report.rolled_back);
+        assert_eq!(report.rollback_errors, 1);
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(report.applied[0].domain, "dram");
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 50,
+        };
+        let delays: Vec<u64> = (0..8).map(|i| p.backoff_ms(i)).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 16, 32, 50, 50]);
+        assert_eq!(RetryPolicy::no_backoff().backoff_ms(5), 0);
     }
 }

@@ -29,10 +29,14 @@
 //! slot in exactly like [`RaplSysfs`] does for CPUs.
 
 pub mod enforce;
+pub mod mock;
 
-pub use enforce::{current_allocation, enforce as enforce_allocation, AppliedCap};
+pub use enforce::{
+    current_allocation, enforce as enforce_allocation, enforce_with, AppliedCap, EnforceReport,
+    RetryPolicy,
+};
 
-use pbc_types::{Joules, PbcError, Result, Seconds, Watts};
+use pbc_types::{u64_from_f64, Joules, PbcError, Result, Seconds, Watts};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -94,18 +98,21 @@ impl RaplDomain {
     }
 
     /// Cumulative energy since an unspecified epoch.
+    #[must_use = "an unused energy reading does nothing"]
     pub fn energy(&self) -> Result<Joules> {
         let uj = Self::read_u64(&self.path.join("energy_uj"))?;
         Ok(Joules::new(uj as f64 / 1e6))
     }
 
     /// The long-term (constraint 0) power limit.
+    #[must_use = "an unused limit reading does nothing"]
     pub fn power_limit(&self) -> Result<Watts> {
         let uw = Self::read_u64(&self.path.join("constraint_0_power_limit_uw"))?;
         Ok(Watts::new(uw as f64 / 1e6))
     }
 
     /// The constraint-0 averaging time window.
+    #[must_use = "an unused window reading does nothing"]
     pub fn time_window(&self) -> Result<Seconds> {
         let us = Self::read_u64(&self.path.join("constraint_0_time_window_us"))?;
         Ok(Seconds::new(us as f64 / 1e6))
@@ -113,13 +120,16 @@ impl RaplDomain {
 
     /// Program the long-term power limit. Requires write permission on the
     /// sysfs file (root, typically).
+    #[must_use = "an unchecked cap write may have silently failed"]
     pub fn set_power_limit(&self, limit: Watts) -> Result<()> {
         if !limit.is_valid() || limit.value() <= 0.0 {
             return Err(PbcError::InvalidInput(format!(
                 "power limit must be positive, got {limit}"
             )));
         }
-        let uw = (limit.value() * 1e6).round() as u64;
+        let uw = u64_from_f64((limit.value() * 1e6).round()).ok_or_else(|| {
+            PbcError::InvalidInput(format!("power limit {limit} overflows the µW register"))
+        })?;
         let path = self.path.join("constraint_0_power_limit_uw");
         fs::write(&path, uw.to_string())
             .map_err(|e| PbcError::Io(format!("{}: {e}", path.display())))
@@ -135,11 +145,13 @@ pub struct RaplSysfs {
 
 impl RaplSysfs {
     /// Discover domains under the default sysfs root.
+    #[must_use = "discovery is read-only; the topology is the result"]
     pub fn discover() -> Result<Self> {
         Self::discover_at(Path::new(DEFAULT_SYSFS_ROOT))
     }
 
     /// Discover domains under an explicit root (tests use a fixture tree).
+    #[must_use = "discovery is read-only; the topology is the result"]
     pub fn discover_at(root: &Path) -> Result<Self> {
         if !root.is_dir() {
             return Err(PbcError::BackendUnavailable(format!(
@@ -204,6 +216,7 @@ pub struct EnergySample {
 /// Average power between two samples of the same domain. `wrap` is the
 /// domain's `max_energy_range`; a counter that moved backwards is assumed
 /// to have wrapped exactly once.
+#[must_use = "the computed power is the whole point of calling this"]
 pub fn average_power(earlier: EnergySample, later: EnergySample, wrap: Joules) -> Result<Watts> {
     let dt = later.at - earlier.at;
     if dt.value() <= 0.0 {
@@ -225,20 +238,7 @@ mod tests {
 
     /// Build a fixture sysfs tree: two packages, each with a dram child.
     fn fixture(root: &Path) {
-        for (dir, name) in [
-            ("intel-rapl:0", "package-0"),
-            ("intel-rapl:0:0", "dram"),
-            ("intel-rapl:1", "package-1"),
-            ("intel-rapl:1:0", "dram"),
-        ] {
-            let d = root.join(dir);
-            fs::create_dir_all(&d).unwrap();
-            fs::write(d.join("name"), format!("{name}\n")).unwrap();
-            fs::write(d.join("energy_uj"), "123456789\n").unwrap();
-            fs::write(d.join("max_energy_range_uj"), "262143328850\n").unwrap();
-            fs::write(d.join("constraint_0_power_limit_uw"), "115000000\n").unwrap();
-            fs::write(d.join("constraint_0_time_window_us"), "976\n").unwrap();
-        }
+        mock::sysfs_tree(root, 2, 1).unwrap();
     }
 
     fn tmpdir(tag: &str) -> PathBuf {

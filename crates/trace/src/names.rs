@@ -59,6 +59,51 @@ pub const COORD_GPU_REJECTED: &str = "coord.gpu.rejected";
 /// Last GPU surplus returned to the node budget, in watts.
 pub const COORD_GPU_SURPLUS_W: &str = "coord.gpu.surplus_w";
 
+// --- fault injection (crates/faults) ----------------------------------
+
+/// Total faults injected, all kinds (sum of the `faults.*` kind counters).
+pub const FAULTS_INJECTED: &str = "faults.injected";
+/// Sensor observations perturbed by multiplicative noise.
+pub const FAULTS_SENSOR_NOISE: &str = "faults.sensor_noise";
+/// Sensor observations replaced by a stale (previous-epoch) reading.
+pub const FAULTS_SENSOR_STALE: &str = "faults.sensor_stale";
+/// Sensor observations dropped (non-finite or absurd surrogate emitted).
+pub const FAULTS_SENSOR_DROPOUT: &str = "faults.sensor_dropout";
+/// Enforcement writes failed transiently (a retry succeeds).
+pub const FAULTS_WRITE_TRANSIENT: &str = "faults.write_transient";
+/// Enforcement writes failed permanently (every retry fails).
+pub const FAULTS_WRITE_PERMANENT: &str = "faults.write_permanent";
+/// Mid-run budget steps applied by a fault plan.
+pub const FAULTS_BUDGET_STEPS: &str = "faults.budget_steps";
+/// Mid-run workload phase shifts applied by a fault plan.
+pub const FAULTS_PHASE_SHIFTS: &str = "faults.phase_shifts";
+
+// --- transactional enforcement (crates/rapl/src/enforce.rs) -----------
+
+/// Enforcement transactions attempted.
+pub const ENFORCE_ATTEMPTS: &str = "enforce.attempts";
+/// Individual cap writes retried after a transient failure.
+pub const ENFORCE_RETRIES: &str = "enforce.retries";
+/// Transactions rolled back after a permanent write failure. **Must
+/// equal [`ENFORCE_PERMANENT_FAILURES`] on every run** — a gap means a
+/// half-applied allocation escaped the transactional contract.
+pub const ENFORCE_ROLLBACKS: &str = "enforce.rollbacks";
+/// Cap writes that exhausted every retry.
+pub const ENFORCE_PERMANENT_FAILURES: &str = "enforce.permanent_failures";
+/// Best-effort rollback restores that themselves failed (the domain is
+/// left at the *new* cap; the enforce error reports it).
+pub const ENFORCE_ROLLBACK_ERRORS: &str = "enforce.rollback_errors";
+
+// --- chaos harness (crates/faults/src/chaos.rs) -----------------------
+
+/// Epochs driven by the chaos harness.
+pub const CHAOS_EPOCHS: &str = "chaos.epochs";
+/// Emergency clamp enforcements after an over-budget read-back.
+pub const CHAOS_CLAMPS: &str = "chaos.clamps";
+/// Epochs that *ended* with enforced caps above the live budget. **Must
+/// read zero for every shipped fault plan** — the budget invariant.
+pub const CHAOS_BUDGET_VIOLATIONS: &str = "chaos.budget_violations";
+
 // --- online coordinator (crates/core/src/online.rs) -------------------
 
 /// Epochs observed by the online coordinator.
@@ -77,3 +122,11 @@ pub const ONLINE_PROBE_TOWARD_MEM: &str = "online.probe_toward_mem";
 pub const ONLINE_STEP_W: &str = "online.step_w";
 /// Best performance seen so far (solver performance units).
 pub const ONLINE_BEST_PERF: &str = "online.best_perf";
+/// Observations rejected by validation (non-finite, out of physical
+/// range, or stale — not matching the allocation that was probed).
+pub const ONLINE_REJECTED_OBSERVATIONS: &str = "online.rejected_observations";
+/// Watchdog trips: persistent over-budget draw degraded the search to
+/// the known-safe fallback allocation.
+pub const ONLINE_FALLBACKS: &str = "online.fallbacks";
+/// Budget changes that re-opened a settled (or in-flight) search.
+pub const ONLINE_BUDGET_RESETS: &str = "online.budget_resets";

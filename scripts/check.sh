@@ -38,6 +38,10 @@ echo "==> trace round-trip (sweep accounting law, via a real trace file)"
 cargo test -q -p pbc-core --test trace_roundtrip
 cargo test -q -p pbc-cli --test trace_flag
 
+echo "==> chaos smoke (fault-plan survival + counter laws, via a real trace file)"
+cargo test -q -p pbc-cli --test chaos_smoke
+cargo test -q --test chaos_properties
+
 echo "==> sweep bench (timed; appends machine-readable records to BENCH_sweep.json)"
 rm -f BENCH_sweep.json
 PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench sweep

@@ -28,6 +28,10 @@
 //! * [`core`] — the contribution: scenario categorization I–VI, critical
 //!   power values, the COORD heuristic (Algorithms 1 & 2), baselines, and
 //!   the sweep oracle.
+//! * [`faults`] — deterministic fault injection (sensor corruption,
+//!   enforcement write failures, budget steps, phase shifts) and the
+//!   chaos harness proving the online loop survives it (see
+//!   `docs/RESILIENCE.md`).
 //! * [`experiments`] — regenerates every table and figure of the paper
 //!   (also available as the `repro` binary).
 //! * [`trace`] — dependency-free structured tracing: spans, counters,
@@ -61,6 +65,7 @@
 
 pub use pbc_core as core;
 pub use pbc_experiments as experiments;
+pub use pbc_faults as faults;
 pub use pbc_platform as platform;
 pub use pbc_powersim as powersim;
 pub use pbc_rapl as rapl;
