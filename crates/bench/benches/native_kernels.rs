@@ -9,7 +9,7 @@ fn main() {
     let mut bench = Bench::from_env();
     let cfg = KernelConfig {
         size: 1 << 16,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: pbc_par::configured_threads(),
         iterations: 1,
     };
     bench.run("native/triad_64k", || triad::run(black_box(&cfg)));

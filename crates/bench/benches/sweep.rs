@@ -6,13 +6,24 @@
 //! healthy while the sweep is quietly dropping points. With
 //! `PBC_BENCH_JSON=<file>` set, the timings land there as JSON lines
 //! (see `scripts/check.sh`, which keeps `BENCH_sweep.json` current).
+//!
+//! The headline comparison is the shared-grid oracle: one
+//! `sweep_curve` over a 10-budget ladder against 10 independent
+//! `sweep_budget` calls. The medians' ratio is recorded as a
+//! `"type":"bench-ratio"` line and asserted to be at least 2x —
+//! `scripts/check.sh` gates on the recorded value too.
 
 use pbc_bench::Bench;
-use pbc_core::{sweep_budget, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_core::{sweep_budget, sweep_curve, PowerBoundedProblem, DEFAULT_STEP};
 use pbc_platform::presets::{ivybridge, titan_xp};
+use pbc_powersim::{solve, SolveMemo};
 use pbc_trace::names;
 use pbc_types::Watts;
 use std::hint::black_box;
+
+/// The speedup the shared-grid oracle must deliver over independent
+/// per-budget sweeps (acceptance bar for the optimization).
+const MIN_CURVE_SPEEDUP: f64 = 2.0;
 
 fn main() {
     let mut bench = Bench::from_env();
@@ -37,6 +48,9 @@ fn main() {
         });
     }
 
+    curve_vs_independent_budgets(&mut bench);
+    solve_memo(&mut bench);
+
     // The conservation law, over everything the timed runs accumulated.
     let counters = pbc_trace::snapshot().counters;
     let read = |name: &str| counters.get(name).copied().unwrap_or(0);
@@ -48,4 +62,75 @@ fn main() {
     assert_eq!(read(names::SWEEP_POINTS_LOST), 0, "sweep lost points");
     assert_eq!(read(names::SWEEP_SOLVER_ERRORS), 0, "sweep hit solver errors");
     bench.finish();
+}
+
+/// One `sweep_curve` over a 10-budget ladder vs 10 independent
+/// `sweep_budget` calls over the same ladder — the comparison the
+/// shared-grid oracle exists to win.
+fn curve_vs_independent_budgets(bench: &mut Bench) {
+    let w = pbc_workloads::by_name("stream").expect("workload exists");
+    let problem = PowerBoundedProblem::new(ivybridge(), w.demand, Watts::new(208.0))
+        .expect("problem is well-formed");
+    let budgets: Vec<Watts> = (0..10).map(|i| Watts::new(160.0 + 8.0 * i as f64)).collect();
+
+    let independent = bench.run("sweep/10-budgets-independent", || {
+        budgets
+            .iter()
+            .map(|&budget| {
+                let p = PowerBoundedProblem {
+                    platform: problem.platform.clone(),
+                    workload: problem.workload.clone(),
+                    budget,
+                };
+                let profile = sweep_budget(black_box(&p), DEFAULT_STEP).expect("sweep succeeds");
+                assert!(!profile.points.is_empty());
+                profile
+            })
+            .collect::<Vec<_>>()
+    });
+    let curve = bench.run("sweep/10-budgets-curve", || {
+        // Cold memo every iteration: the speedup must come from sharing
+        // *within* one curve call, not from a cache the previous
+        // iteration left warm.
+        SolveMemo::clear_shared();
+        let profiles = sweep_curve(black_box(&problem), black_box(&budgets), DEFAULT_STEP)
+            .expect("curve succeeds");
+        assert_eq!(profiles.len(), budgets.len());
+        profiles
+    });
+
+    if let (Some(independent_ns), Some(curve_ns)) = (independent, curve) {
+        let speedup = independent_ns / curve_ns;
+        bench.record_ratio("sweep/curve-vs-budgets-speedup", speedup);
+        assert!(
+            speedup >= MIN_CURVE_SPEEDUP,
+            "shared-grid curve over {} budgets must be >= {MIN_CURVE_SPEEDUP}x faster than \
+             independent per-budget sweeps, measured {speedup:.2}x",
+            budgets.len(),
+        );
+    }
+}
+
+/// The memo's hit path against the direct solver it caches — the cost a
+/// repeated canonical allocation pays after the first solve.
+fn solve_memo(bench: &mut Bench) {
+    let w = pbc_workloads::by_name("stream").expect("workload exists");
+    let problem = PowerBoundedProblem::new(ivybridge(), w.demand, Watts::new(208.0))
+        .expect("problem is well-formed");
+    let profile = sweep_budget(&problem, DEFAULT_STEP).expect("sweep succeeds");
+    let alloc = profile.best().expect("feasible point").alloc;
+
+    bench.run("solve/cpu-direct", || {
+        solve(
+            black_box(&problem.platform),
+            black_box(&problem.workload),
+            black_box(alloc),
+        )
+        .expect("solve succeeds")
+    });
+
+    let memo = SolveMemo::fresh(&problem.platform, &problem.workload);
+    bench.run("solve/memo-hit", || {
+        memo.solve(black_box(alloc)).expect("solve succeeds")
+    });
 }

@@ -55,17 +55,22 @@ impl Bench {
 
     /// Run one benchmark: `f` is invoked repeatedly and its return value
     /// passed through `black_box` so the optimizer cannot elide the work.
-    pub fn run<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+    ///
+    /// Returns the median ns per iteration when the benchmark was actually
+    /// measured, and `None` when it was filtered out or ran in smoke mode —
+    /// so derived metrics (see [`Bench::record_ratio`]) are only computed
+    /// from real timings.
+    pub fn run<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> Option<f64> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return;
+                return None;
             }
         }
         self.ran += 1;
         if self.smoke {
             black_box(f());
             println!("bench {name:<40} ok (smoke)");
-            return;
+            return None;
         }
 
         // Warmup, and size the batch so one batch is ~1% of the window.
@@ -100,6 +105,16 @@ impl Bench {
             samples.len(),
         );
         append_json_record(name, min, median, mean, samples.len(), batch);
+        Some(median)
+    }
+
+    /// Record a ratio derived from two measured medians (e.g. a baseline
+    /// over an optimization) and append it as a `"type":"bench-ratio"`
+    /// JSON line when `PBC_BENCH_JSON` is set, so CI can gate on relative
+    /// speedups instead of machine-dependent absolute timings.
+    pub fn record_ratio(&self, name: &str, ratio: f64) {
+        println!("bench {name:<40} ratio {ratio:>11.2}x");
+        append_json_line(&pbc_trace::bench_ratio_record_line(name, ratio));
     }
 
     /// Print a footer; call last so a filter matching nothing is visible.
@@ -112,10 +127,8 @@ impl Bench {
     }
 }
 
-/// Append one `"type":"bench"` JSON line to the file named by
-/// `PBC_BENCH_JSON`, when set. Failures print a warning instead of
-/// killing the bench run — timings on stdout are still the primary
-/// output.
+/// Append one `"type":"bench"` timing record to the `PBC_BENCH_JSON`
+/// file, when set.
 fn append_json_record(
     name: &str,
     min_ns: f64,
@@ -124,13 +137,19 @@ fn append_json_record(
     samples: usize,
     iters_per_sample: u64,
 ) {
+    let line = pbc_trace::bench_record_line(name, min_ns, median_ns, mean_ns, samples, iters_per_sample);
+    append_json_line(&line);
+}
+
+/// Append one pre-rendered JSON line to the file named by `PBC_BENCH_JSON`,
+/// when set. Failures print a warning instead of killing the bench run.
+fn append_json_line(line: &str) {
     let Ok(path) = std::env::var("PBC_BENCH_JSON") else {
         return;
     };
     if path.is_empty() {
         return;
     }
-    let line = pbc_trace::bench_record_line(name, min_ns, median_ns, mean_ns, samples, iters_per_sample);
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -166,20 +185,22 @@ mod tests {
     }
 
     #[test]
-    fn smoke_mode_runs_once() {
+    fn smoke_mode_runs_once_and_yields_no_median() {
         let mut b = Bench { filter: None, smoke: true, ran: 0 };
         let mut calls = 0;
-        b.run("unit", || calls += 1);
+        let median = b.run("unit", || calls += 1);
         assert_eq!(calls, 1);
         assert_eq!(b.ran, 1);
+        assert_eq!(median, None);
     }
 
     #[test]
     fn filter_skips_non_matching() {
         let mut b = Bench { filter: Some("xyz".into()), smoke: true, ran: 0 };
         let mut calls = 0;
-        b.run("abc", || calls += 1);
+        let median = b.run("abc", || calls += 1);
         assert_eq!(calls, 0);
+        assert_eq!(median, None);
         b.finish();
     }
 }

@@ -13,6 +13,9 @@ USAGE:
                                         coordinate a budget (COORD)
   pbc sweep     -p PLATFORM -w BENCH -b WATTS [--save FILE]
                                         exhaustive allocation sweep
+  pbc curve     -p PLATFORM -w BENCH -b W1,W2,...
+                                        shared-grid sweep over several
+                                        budgets (one pooled job + memo)
   pbc scenarios -p PLATFORM -w BENCH -b WATTS
                                         sweep with scenario labels (CPU)
   pbc online    -p PLATFORM -w BENCH -b WATTS
@@ -53,6 +56,7 @@ struct Args {
     platform: Option<String>,
     bench: Option<String>,
     budget: Option<f64>,
+    budgets: Option<Vec<f64>>,
     save: Option<String>,
     host: Option<String>,
     card: Option<String>,
@@ -69,6 +73,7 @@ fn parse(rest: &[String]) -> Result<Args, String> {
         platform: None,
         bench: None,
         budget: None,
+        budgets: None,
         save: None,
         host: None,
         card: None,
@@ -94,11 +99,17 @@ fn parse(rest: &[String]) -> Result<Args, String> {
                 i += 2;
             }
             "-b" | "--budget" => {
-                args.budget = Some(
-                    take(i)?
-                        .parse()
-                        .map_err(|e| format!("bad budget: {e}"))?,
-                );
+                // Accept a comma list (`-b 176,208,240`) for `curve`;
+                // single-budget commands see `budget` only when exactly
+                // one value was given.
+                let list: Vec<f64> = take(i)?
+                    .split(',')
+                    .map(|v| v.trim().parse().map_err(|e| format!("bad budget {v:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if list.len() == 1 {
+                    args.budget = Some(list[0]);
+                }
+                args.budgets = Some(list);
                 i += 2;
             }
             "--save" => {
@@ -191,6 +202,15 @@ fn run(argv: &[String]) -> Result<String, String> {
                 &need(a.bench, "-w BENCH")?,
                 need(a.budget, "-b WATTS")?,
                 a.save.as_deref(),
+            )
+            .map_err(e)
+        }
+        "curve" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_curve(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                &need(a.budgets, "-b W1,W2,...")?,
             )
             .map_err(e)
         }

@@ -17,9 +17,9 @@
 //! ```
 
 use pbc_core::{
-    classify_cpu_point, coord_cpu, coord_gpu, coordinate_hybrid, sweep_budget, workload_report,
-    CoordStatus, CriticalPowers, GpuCoordParams, HybridWorkload, OnlineConfig, OnlineCoordinator,
-    PowerBoundedProblem, DEFAULT_STEP,
+    classify_cpu_point, coord_cpu, coord_gpu, coordinate_hybrid, sweep_budget, sweep_curve,
+    workload_report, CoordStatus, CriticalPowers, GpuCoordParams, HybridWorkload, OnlineConfig,
+    OnlineCoordinator, PowerBoundedProblem, DEFAULT_STEP,
 };
 use pbc_powersim::coordinate_corun;
 use pbc_platform::{presets, NodeSpec, Platform, PlatformId};
@@ -200,6 +200,54 @@ pub fn cmd_sweep(
     if let Some(path) = save {
         pbc_core::save_profile(&profile, std::path::Path::new(path))?;
         let _ = writeln!(out, "profile saved to {path}");
+    }
+    Ok(out)
+}
+
+/// `pbc curve -p <platform> -w <bench> -b <w1,w2,...>` — the shared-grid
+/// multi-budget oracle: every budget's sweep in one pooled job over the
+/// union grid, solver work shared through the workload's solve memo.
+#[must_use = "the rendered curve summary is the command's entire output"]
+pub fn cmd_curve(platform_slug: &str, bench_slug: &str, budgets: &[f64]) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    if budgets.is_empty() {
+        return Err(PbcError::InvalidInput(
+            "curve needs at least one budget, e.g. -b 176,208,240".into(),
+        ));
+    }
+    let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budgets[0]))?;
+    let watts: Vec<Watts> = budgets.iter().map(|&w| Watts::new(w)).collect();
+    let profiles = sweep_curve(&problem, &watts, DEFAULT_STEP)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>12} {:>11} {:>10} {:>10}",
+        "P_b (W)", "points", "best proc", "best mem", "perf_max", "spread"
+    );
+    for profile in &profiles {
+        match (profile.best(), profile.worst()) {
+            (Some(best), Some(_)) => {
+                let _ = writeln!(
+                    out,
+                    "{:>10.1} {:>8} {:>12.1} {:>11.1} {:>10.3} {:>9.1}x",
+                    profile.budget.value(),
+                    profile.points.len(),
+                    best.alloc.proc.value(),
+                    best.alloc.mem.value(),
+                    best.op.perf_rel,
+                    profile.spread()
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{:>10.1} {:>8} (budget not schedulable on this platform)",
+                    profile.budget.value(),
+                    0
+                );
+            }
+        }
     }
     Ok(out)
 }
@@ -438,6 +486,19 @@ mod tests {
         let loaded = pbc_core::load_profile(&path).unwrap();
         assert!(!loaded.points.is_empty());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn curve_renders_one_row_per_budget() {
+        let out = cmd_curve("ivybridge", "sra", &[176.0, 208.0, 240.0]).unwrap();
+        assert_eq!(out.lines().count(), 4, "{out}"); // header + 3 budgets
+        assert!(out.contains("spread"));
+        // Budgets below a card's settable range render as unschedulable
+        // rows rather than failing the whole curve.
+        let gout = cmd_curve("titan-xp", "sgemm", &[80.0, 200.0]).unwrap();
+        assert!(gout.contains("not schedulable"), "{gout}");
+        // And an empty budget list is a typed error.
+        assert!(cmd_curve("ivybridge", "sra", &[]).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use crate::critical::CriticalPowers;
 use crate::problem::PowerBoundedProblem;
 use crate::scenario::{classify_cpu_point, CpuScenario};
-use crate::sweep::sweep_budget;
-use pbc_powersim::solve;
+use crate::sweep::{sweep_budget, sweep_curve};
+use pbc_powersim::SolveMemo;
 use pbc_types::{Domain, PowerAllocation, Result, Watts};
 
 /// One point of a `perf_max ~ P_b` curve (Fig. 2 / Fig. 6).
@@ -25,22 +25,23 @@ pub struct CurvePoint {
 
 /// Sweep a range of budgets and return the upper performance bound at
 /// each — the paper's `perf_max ~ P_b` characterization.
+///
+/// The budgets are swept together through [`sweep_curve`], so the grids
+/// share one pooled job and one solve memo instead of N independent
+/// fork-join sweeps.
+#[must_use = "the curve result carries either the points or the solver failure"]
 pub fn perf_max_curve(
     problem_template: &PowerBoundedProblem,
     budgets: impl IntoIterator<Item = Watts>,
     step: Watts,
 ) -> Result<Vec<CurvePoint>> {
-    let mut out = Vec::new();
-    for budget in budgets {
-        let problem = PowerBoundedProblem {
-            platform: problem_template.platform.clone(),
-            workload: problem_template.workload.clone(),
-            budget,
-        };
-        let profile = sweep_budget(&problem, step)?;
+    let budgets: Vec<Watts> = budgets.into_iter().collect();
+    let profiles = sweep_curve(problem_template, &budgets, step)?;
+    let mut out = Vec::with_capacity(profiles.len());
+    for profile in &profiles {
         if let Some(best) = profile.best() {
             out.push(CurvePoint {
-                budget,
+                budget: profile.budget,
                 perf_max: best.op.perf_rel,
                 best_alloc: best.alloc,
                 actual_power: best.op.total_power(),
@@ -64,6 +65,7 @@ pub fn flattening_budget(curve: &[CurvePoint], tolerance: f64) -> Option<Watts> 
 /// from each component at the optimum; the component whose loss hurts
 /// performance more is critical. Returns `None` when neither shift
 /// matters (scenario I — no critical component).
+#[must_use = "the critical-component verdict carries either the domain or the solver failure"]
 pub fn critical_component(
     problem: &PowerBoundedProblem,
     step: Watts,
@@ -84,10 +86,15 @@ pub fn critical_component(
     let best = plateau[plateau.len() / 2];
     let take_from_proc = best.alloc.shift_to_proc(-delta);
     let take_from_mem = best.alloc.shift_to_proc(delta);
-    let perf_less_proc = solve(&problem.platform, &problem.workload, take_from_proc)
+    // The probe shifts re-solve near the optimum; route them through the
+    // problem's shared memo so repeated table/analysis probes hit cache.
+    let memo = SolveMemo::for_problem(&problem.platform, &problem.workload);
+    let perf_less_proc = memo
+        .solve(take_from_proc)
         .map(|op| op.perf_rel)
         .unwrap_or(0.0);
-    let perf_less_mem = solve(&problem.platform, &problem.workload, take_from_mem)
+    let perf_less_mem = memo
+        .solve(take_from_mem)
         .map(|op| op.perf_rel)
         .unwrap_or(0.0);
     let base = best.op.perf_rel;
@@ -121,6 +128,7 @@ pub struct Table1Row {
 
 /// Regenerate Table 1 for a workload on a host platform: representative
 /// budgets from each §3.4 regime, top to bottom.
+#[must_use = "the table result carries either the rows or the solver failure"]
 pub fn table1(
     problem_template: &PowerBoundedProblem,
     criticals: &CriticalPowers,
@@ -152,13 +160,14 @@ pub fn table1(
     ];
 
     let mut rows = Vec::new();
-    for budget in budgets {
+    let profiles = sweep_curve(problem_template, &budgets, step)?;
+    for profile in &profiles {
+        let budget = profile.budget;
         let problem = PowerBoundedProblem {
             platform: problem_template.platform.clone(),
             workload: problem_template.workload.clone(),
             budget,
         };
-        let profile = sweep_budget(&problem, step)?;
         let Some(best) = profile.best() else { continue };
         let mut valid: Vec<CpuScenario> = Vec::new();
         for pt in &profile.points {
@@ -205,25 +214,24 @@ pub struct BalancePoint {
 /// excessively powered, exactly as §3.4.1 defines it) and the utilization
 /// `R / R_max`. At the optimal allocation both utilizations approach 1 —
 /// "balanced compute and memory access".
+#[must_use = "the balance result carries either the points or the solver failure"]
 pub fn balance_analysis(problem: &PowerBoundedProblem, step: Watts) -> Result<Vec<BalancePoint>> {
     let profile = sweep_budget(problem, step)?;
     let generous = Watts::new(1.0e4);
+    // Capacity probes fix one cap and over-provision the other, so the
+    // same canonical solver input recurs once per step of the other axis;
+    // the shared memo collapses those repeats to one solve each.
+    let memo = SolveMemo::for_problem(&problem.platform, &problem.workload);
     let mut out = Vec::with_capacity(profile.points.len());
     for pt in &profile.points {
-        let compute_capacity = solve(
-            &problem.platform,
-            &problem.workload,
-            PowerAllocation::new(pt.alloc.proc, generous),
-        )
-        .map(|op| op.work_rate)
-        .unwrap_or(0.0);
-        let mem_capacity = solve(
-            &problem.platform,
-            &problem.workload,
-            PowerAllocation::new(generous, pt.alloc.mem),
-        )
-        .map(|op| op.bandwidth.value())
-        .unwrap_or(0.0);
+        let compute_capacity = memo
+            .solve(PowerAllocation::new(pt.alloc.proc, generous))
+            .map(|op| op.work_rate)
+            .unwrap_or(0.0);
+        let mem_capacity = memo
+            .solve(PowerAllocation::new(generous, pt.alloc.mem))
+            .map(|op| op.bandwidth.value())
+            .unwrap_or(0.0);
         out.push(BalancePoint {
             alloc: pt.alloc,
             perf_rel: pt.op.perf_rel,
@@ -249,6 +257,7 @@ mod tests {
     use super::*;
     use crate::sweep::DEFAULT_STEP;
     use pbc_platform::presets::{haswell, ivybridge};
+    use pbc_powersim::solve;
     use pbc_workloads::by_name;
 
     fn problem(bench: &str, budget: f64) -> PowerBoundedProblem {

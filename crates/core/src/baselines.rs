@@ -4,7 +4,7 @@ use crate::coord::{coord_cpu, coord_gpu, GpuCoordParams};
 use crate::critical::CriticalPowers;
 use crate::problem::PowerBoundedProblem;
 use crate::profile::SweepPoint;
-use crate::sweep::sweep_budget;
+use crate::sweep::sweep_curve;
 use pbc_platform::GpuSpec;
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
 use std::fmt;
@@ -158,8 +158,18 @@ impl AllocationPolicy for GpuPolicy<'_> {
 
 /// The oracle: best allocation found by an exhaustive sweep at the given
 /// stepping — the "best identified from experiments" of Fig. 9.
+///
+/// Runs through [`sweep_curve`] so back-to-back oracle calls for the
+/// same workload (Fig. 9 evaluates one budget ladder per benchmark)
+/// share the workload's solve memo across budgets.
+#[must_use = "the oracle result carries either the best point or the solver failure"]
 pub fn oracle(problem: &PowerBoundedProblem, step: Watts) -> Result<SweepPoint> {
-    let profile = sweep_budget(problem, step)?;
+    let profile = sweep_curve(problem, std::slice::from_ref(&problem.budget), step)?
+        .pop()
+        .ok_or_else(|| PbcError::BudgetTooSmall {
+            requested: problem.budget,
+            minimum: problem.platform.min_node_power(),
+        })?;
     profile.best().copied().ok_or_else(|| {
         PbcError::BudgetTooSmall {
             requested: problem.budget,

@@ -19,7 +19,7 @@
 
 use crate::critical::CriticalPowers;
 use pbc_platform::GpuSpec;
-use pbc_powersim::{solve_gpu, uncapped_demand, WorkloadDemand};
+use pbc_powersim::{uncapped_demand, SolveMemo, WorkloadDemand};
 use pbc_trace::names;
 use pbc_types::{PbcError, PowerAllocation, Result, Watts};
 
@@ -61,6 +61,7 @@ pub struct CoordResult {
 /// let decision = coord_cpu(Watts::new(208.0), &criticals).unwrap();
 /// assert!(decision.alloc.total() <= Watts::new(208.0));
 /// ```
+#[must_use = "the decision carries either the allocation or the rejection"]
 pub fn coord_cpu(budget: Watts, c: &CriticalPowers) -> Result<CoordResult> {
     debug_assert!(c.is_ordered(), "critical powers must be ordered: {c:?}");
     if budget >= c.cpu_l1 + c.mem_l1 {
@@ -132,15 +133,19 @@ pub struct GpuCoordParams {
 impl GpuCoordParams {
     /// Profile the two application parameters with two solver evaluations
     /// (on real hardware: two short runs), plus the card constants.
+    #[must_use = "the profiled parameters carry either the values or the probe failure"]
     pub fn profile(gpu: &GpuSpec, workload: &WorkloadDemand) -> Result<Self> {
         // P_tot_max: the true uncapped demand (the driver clamps any cap
         // to the settable range, so this is computed at top clocks rather
         // than through a capped run).
         let (p_tot_max, _, _) = uncapped_demand(gpu, workload);
         // P_tot_ref: memory nominal, SM at the bottom clock. Emulate by
-        // composing directly: lowest SM clock with top memory level.
+        // composing directly: lowest SM clock with top memory level. The
+        // probe goes through the shared memo: schedulers re-profile the
+        // same (card, application) pair per job, and the reference point
+        // is one canonical solve.
         let ref_alloc = PowerAllocation::new(gpu.sm.min_power, gpu.mem.max_power());
-        let p_tot_ref = match solve_gpu(gpu, workload, ref_alloc) {
+        let p_tot_ref = match SolveMemo::for_gpu(gpu, workload).solve(ref_alloc) {
             Ok(op) => op.total_power(),
             // A tiny card may reject the probe total; fall back to spec.
             Err(_) => gpu.sm.power_at(0, 0.8) + gpu.mem.max_power(),
@@ -164,6 +169,7 @@ impl GpuCoordParams {
 
 /// Algorithm 2: category-based heuristic for GPU computing. Returns
 /// [`PbcError::BudgetTooSmall`] for budgets the card would reject.
+#[must_use = "the decision carries either the allocation or the rejection"]
 pub fn coord_gpu(budget: Watts, gpu: &GpuSpec, params: &GpuCoordParams) -> Result<CoordResult> {
     if budget < gpu.min_card_cap {
         pbc_trace::counter(names::COORD_GPU_REJECTED).incr();

@@ -22,7 +22,7 @@
 
 use crate::profile::SweepProfile;
 use pbc_platform::{CpuSpec, DramSpec};
-use pbc_powersim::{solve_cpu, MechanismState, WorkloadDemand};
+use pbc_powersim::{solve_cpu, MechanismState, SolveMemo, WorkloadDemand};
 use pbc_types::{PowerAllocation, Watts};
 
 /// The seven §5.1 critical power values for one workload on one host
@@ -94,12 +94,20 @@ impl CriticalPowers {
             mem_l1 = mem_l1.max(dram.power_at(bw_need, phase.pattern_cost));
         }
 
+        // The L2/L3 searches walk the cap down watt by watt, re-solving
+        // the full workload each step; the memo is shared across probes
+        // of the same (cpu, dram, workload), so COORD's repeated
+        // profiling of one application pays for the walk only once.
+        let memo = SolveMemo::for_cpu(cpu, dram, workload);
+
         // L2: actual power once the solver reports the lowest P-state with
         // full duty. Walk the cap down until the mechanism crosses over.
         let mut cpu_l2 = cpu_l1;
         let mut cap = cpu_l1;
         while cap > cpu.min_active_power {
-            let op = solve_cpu(cpu, dram, workload, PowerAllocation::new(cap, generous_mem));
+            let Ok(op) = memo.solve(PowerAllocation::new(cap, generous_mem)) else {
+                break;
+            };
             if let MechanismState::Cpu(st) = op.mechanism {
                 if st.pstate == 0 && st.duty >= 1.0 {
                     cpu_l2 = op.proc_power;
@@ -120,7 +128,9 @@ impl CriticalPowers {
         let mut mem_l2 = mem_l1;
         let mut cap = cpu_l2;
         while cap > cpu.min_active_power - Watts::new(2.0) {
-            let op = solve_cpu(cpu, dram, workload, PowerAllocation::new(cap, generous_mem));
+            let Ok(op) = memo.solve(PowerAllocation::new(cap, generous_mem)) else {
+                break;
+            };
             if let MechanismState::Cpu(st) = op.mechanism {
                 if st.duty < 1.0 {
                     cpu_l3 = op.proc_power;

@@ -64,4 +64,7 @@ pub use profile_io::{from_csv as profile_from_csv, load as load_profile, save as
 pub use report::workload_report;
 pub use schedule::{aggregate_throughput, schedule_jobs, Job, JobOutcome, PowerPool, ScheduledJob};
 pub use scenario::{classify_cpu_point, classify_gpu_point, cpu_scenario_spans, CpuScenario, GpuCategory};
-pub use sweep::{sweep_budget, sweep_space, DEFAULT_STEP};
+pub use sweep::{
+    sweep_budget, sweep_budget_with_pool, sweep_curve, sweep_curve_with_pool, sweep_space,
+    sweep_space_with_pool, DEFAULT_STEP,
+};

@@ -4,7 +4,18 @@
 //! fixed power stepping (the paper notes its experimental sweeps do the
 //! same, which is why the heuristic occasionally beats "the best found in
 //! the experimental dataset"). Evaluations are independent, so the sweep
-//! fans out across threads with `std::thread::scope`.
+//! fans out across the persistent work-stealing pool in [`pbc_par`]:
+//! infeasible points are ~100x cheaper to reject than feasible points
+//! are to solve, so static chunking (the previous design) left threads
+//! idle while one carried all the expensive points. Results are written
+//! to per-index slots, so the profile is deterministic — bit-identical
+//! regardless of thread count or steal order.
+//!
+//! Multi-budget curves should use [`sweep_curve`]: it evaluates the
+//! union of every budget's grid in one pooled job through a shared
+//! [`SolveMemo`], so adjacent budgets reuse solver work (observable as
+//! `sweep.curve_reuse_hits`) instead of re-integrating the control
+//! loops per budget.
 //!
 //! ## Error contract
 //!
@@ -27,10 +38,13 @@
 
 use crate::problem::PowerBoundedProblem;
 use crate::profile::{SweepPoint, SweepProfile};
+use pbc_par::Pool;
 use pbc_platform::Platform;
-use pbc_powersim::{solve, NodeOperatingPoint, WorkloadDemand};
+use pbc_powersim::{solve, NodeOperatingPoint, SolveMemo, WorkloadDemand};
 use pbc_trace::names;
-use pbc_types::{AllocationSpace, PowerAllocation, Result, Watts};
+use pbc_types::{AllocationSpace, PbcError, PowerAllocation, Result, Watts};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default sweep stepping, matching the coarse grid of the paper's
 /// experiments (4 W on the CPU axis).
@@ -61,20 +75,147 @@ pub const DEFAULT_STEP: Watts = Watts::new(4.0);
 /// (see the module docs for the full error contract).
 #[must_use = "the sweep result carries either the profile or the solver failure"]
 pub fn sweep_budget(problem: &PowerBoundedProblem, step: Watts) -> Result<SweepProfile> {
+    sweep_budget_with_pool(problem, step, Pool::global())
+}
+
+/// [`sweep_budget`] on an explicit pool (tests use this to pin the
+/// executor count; production code wants [`Pool::global`]).
+#[must_use = "the sweep result carries either the profile or the solver failure"]
+pub fn sweep_budget_with_pool(
+    problem: &PowerBoundedProblem,
+    step: Watts,
+    pool: &Pool,
+) -> Result<SweepProfile> {
     let space = AllocationSpace::new(
         problem.budget,
         problem.proc_cap_range(),
         problem.mem_cap_range(),
         step,
     );
-    sweep_space(problem, &space)
+    sweep_space_with_pool(problem, &space, pool)
 }
 
 /// Sweep an explicit allocation space (callers construct custom spaces
 /// for zoomed-in views around an optimum).
 #[must_use = "the sweep result carries either the profile or the solver failure"]
 pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Result<SweepProfile> {
-    sweep_space_with(problem, space, solve)
+    sweep_space_with(problem, space, Pool::global(), solve)
+}
+
+/// [`sweep_space`] on an explicit pool.
+#[must_use = "the sweep result carries either the profile or the solver failure"]
+pub fn sweep_space_with_pool(
+    problem: &PowerBoundedProblem,
+    space: &AllocationSpace,
+    pool: &Pool,
+) -> Result<SweepProfile> {
+    sweep_space_with(problem, space, pool, solve)
+}
+
+/// One evaluated grid point, written into its own slot so assembly is
+/// independent of execution order.
+enum Slot {
+    Point(NodeOperatingPoint),
+    Infeasible,
+    Failed(PbcError),
+}
+
+/// The sweep's accounting counters, registered together up front so
+/// every one of them is present in an exported trace even when it reads
+/// zero — absence must never be mistaken for emptiness.
+struct SweepCounters {
+    total: pbc_trace::Counter,
+    evaluated: pbc_trace::Counter,
+    infeasible: pbc_trace::Counter,
+    lost: pbc_trace::Counter,
+    errors: pbc_trace::Counter,
+}
+
+impl SweepCounters {
+    fn register() -> SweepCounters {
+        SweepCounters {
+            total: pbc_trace::counter(names::SWEEP_POINTS_TOTAL),
+            evaluated: pbc_trace::counter(names::SWEEP_POINTS_EVALUATED),
+            infeasible: pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE),
+            lost: pbc_trace::counter(names::SWEEP_POINTS_LOST),
+            errors: pbc_trace::counter(names::SWEEP_SOLVER_ERRORS),
+        }
+    }
+}
+
+/// Fan `eval_index` out across the pool under a `sweep` root span, one
+/// `sweep.worker` span per participating executor. Each index writes its
+/// outcome (already counter-accounted by `eval_index`) into its slot.
+/// Preserves the panic contract: a panicking evaluation cancels the rest
+/// of the job, adds the unfinished points to `sweep.points_lost`, and
+/// re-raises on the calling thread.
+fn run_sweep_job(
+    pool: &Pool,
+    counters: &SweepCounters,
+    n: usize,
+    eval_index: &(dyn Fn(usize) + Sync),
+) {
+    let sweep_span = pbc_trace::span(names::SPAN_SWEEP);
+    let sweep_id = sweep_span.id();
+    let stats = pool.run_wrapped(
+        n,
+        &|inner| {
+            let _worker = pbc_trace::span_under(names::SPAN_SWEEP_WORKER, sweep_id);
+            inner();
+        },
+        eval_index,
+    );
+    if let Some(payload) = stats.panic {
+        // Account for every point the cancelled job dropped, then
+        // re-raise the panic on the calling thread. A dying evaluation
+        // must never silently truncate the oracle.
+        counters.lost.add((n - stats.completed) as u64);
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Evaluate one allocation into its slot, with counter accounting. A
+/// real solver error flips `errored`, which short-circuits the remaining
+/// points (their slots stay `None`; the sweep is failing anyway).
+fn eval_into_slot(
+    outcome: Result<NodeOperatingPoint>,
+    slot: &Mutex<Option<Slot>>,
+    counters: &SweepCounters,
+    errored: &AtomicBool,
+) {
+    let filled = match outcome {
+        Ok(op) => {
+            counters.evaluated.incr();
+            Slot::Point(op)
+        }
+        Err(e) if e.is_infeasible() => {
+            counters.infeasible.incr();
+            Slot::Infeasible
+        }
+        Err(e) => {
+            counters.errors.incr();
+            errored.store(true, Ordering::Relaxed);
+            Slot::Failed(e)
+        }
+    };
+    *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(filled);
+}
+
+/// Drain filled slots into sweep points (pushed in index order, i.e.
+/// ascending processor cap). A real solver error at the lowest failing
+/// index fails the whole drain.
+fn collect_slots(
+    slots: Vec<Mutex<Option<Slot>>>,
+    mut sink: impl FnMut(usize, NodeOperatingPoint),
+) -> Result<()> {
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            Some(Slot::Failed(e)) => return Err(e),
+            Some(Slot::Point(op)) => sink(i, op),
+            Some(Slot::Infeasible) | None => {}
+        }
+    }
+    Ok(())
 }
 
 /// The sweep engine, generic over the evaluator so tests can inject
@@ -82,86 +223,29 @@ pub fn sweep_space(problem: &PowerBoundedProblem, space: &AllocationSpace) -> Re
 fn sweep_space_with<F>(
     problem: &PowerBoundedProblem,
     space: &AllocationSpace,
+    pool: &Pool,
     eval: F,
 ) -> Result<SweepProfile>
 where
     F: Fn(&Platform, &WorkloadDemand, PowerAllocation) -> Result<NodeOperatingPoint> + Sync,
 {
     let allocs: Vec<PowerAllocation> = space.iter().collect();
+    let counters = SweepCounters::register();
+    counters.total.add(allocs.len() as u64);
 
-    // Register the accounting counters up front so every one of them is
-    // present in an exported trace even when it reads zero — absence
-    // must never be mistaken for emptiness.
-    let total_c = pbc_trace::counter(names::SWEEP_POINTS_TOTAL);
-    let evaluated_c = pbc_trace::counter(names::SWEEP_POINTS_EVALUATED);
-    let infeasible_c = pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE);
-    let lost_c = pbc_trace::counter(names::SWEEP_POINTS_LOST);
-    let errors_c = pbc_trace::counter(names::SWEEP_SOLVER_ERRORS);
-    total_c.add(allocs.len() as u64);
+    let slots: Vec<Mutex<Option<Slot>>> = (0..allocs.len()).map(|_| Mutex::new(None)).collect();
+    let errored = AtomicBool::new(false);
 
-    let sweep_span = pbc_trace::span(names::SPAN_SWEEP);
-    let sweep_id = sweep_span.id();
+    run_sweep_job(pool, &counters, allocs.len(), &|i| {
+        if errored.load(Ordering::Relaxed) {
+            return;
+        }
+        let outcome = eval(&problem.platform, &problem.workload, allocs[i]);
+        eval_into_slot(outcome, &slots[i], &counters, &errored);
+    });
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(allocs.len().max(1));
-
-    let chunk = allocs.len().div_ceil(threads.max(1));
-    let mut points: Vec<SweepPoint> = if allocs.is_empty() {
-        Vec::new()
-    } else {
-        std::thread::scope(|s| -> Result<Vec<SweepPoint>> {
-            let handles: Vec<_> = allocs
-                .chunks(chunk.max(1))
-                .map(|batch| {
-                    let platform = &problem.platform;
-                    let workload = &problem.workload;
-                    let eval = &eval;
-                    let evaluated_c = evaluated_c.clone();
-                    let infeasible_c = infeasible_c.clone();
-                    let errors_c = errors_c.clone();
-                    let handle = s.spawn(move || -> Result<Vec<SweepPoint>> {
-                        let _worker = pbc_trace::span_under(names::SPAN_SWEEP_WORKER, sweep_id);
-                        let mut out = Vec::with_capacity(batch.len());
-                        for &alloc in batch {
-                            match eval(platform, workload, alloc) {
-                                Ok(op) => {
-                                    evaluated_c.incr();
-                                    out.push(SweepPoint { alloc, op });
-                                }
-                                Err(e) if e.is_infeasible() => infeasible_c.incr(),
-                                Err(e) => {
-                                    errors_c.incr();
-                                    return Err(e);
-                                }
-                            }
-                        }
-                        Ok(out)
-                    });
-                    (batch.len(), handle)
-                })
-                .collect();
-            let mut points = Vec::new();
-            for (batch_len, handle) in handles {
-                match handle.join() {
-                    Ok(Ok(batch)) => points.extend(batch),
-                    // A real solver error anywhere fails the sweep; a
-                    // truncated profile must never masquerade as the
-                    // oracle. Remaining workers are joined when the
-                    // scope closes.
-                    Ok(Err(e)) => return Err(e),
-                    Err(payload) => {
-                        // Account for the batch this worker was carrying,
-                        // then re-raise its panic on the calling thread.
-                        lost_c.add(batch_len as u64);
-                        std::panic::resume_unwind(payload);
-                    }
-                }
-            }
-            Ok(points)
-        })?
-    };
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(allocs.len());
+    collect_slots(slots, |i, op| points.push(SweepPoint { alloc: allocs[i], op }))?;
 
     points.sort_by(|a, b| a.alloc.proc.0.total_cmp(&b.alloc.proc.0));
     Ok(SweepProfile {
@@ -170,6 +254,98 @@ where
         budget: problem.budget,
         points,
     })
+}
+
+/// The shared-grid oracle: sweep *every* budget in one pooled job over
+/// the union of the budgets' allocation grids, solving through the
+/// problem's shared [`SolveMemo`].
+///
+/// Profiles are bit-identical to calling [`sweep_budget`] once per
+/// budget (each budget's grid is constructed exactly as `sweep_budget`
+/// constructs it, and the memo's canonical keys are exact — see
+/// `pbc_powersim::memo`), but the work is shared three ways: the
+/// nominal reference time is computed once instead of per point,
+/// allocations whose canonical solver inputs repeat across budgets are
+/// served from cache (counted in `sweep.curve_reuse_hits`), and the
+/// whole union grid load-balances as one job instead of N fork-joins.
+///
+/// `problem.budget` is ignored; `budgets` drives the curve. The error
+/// contract is the per-budget sweep's: infeasible allocations are
+/// skipped (a budget where everything is infeasible yields an empty
+/// profile), real solver errors fail the whole curve, and a panicking
+/// evaluation is re-raised after `sweep.points_lost` accounting.
+#[must_use = "the curve result carries either the profiles or the solver failure"]
+pub fn sweep_curve(
+    problem: &PowerBoundedProblem,
+    budgets: &[Watts],
+    step: Watts,
+) -> Result<Vec<SweepProfile>> {
+    sweep_curve_with_pool(problem, budgets, step, Pool::global())
+}
+
+/// [`sweep_curve`] on an explicit pool.
+#[must_use = "the curve result carries either the profiles or the solver failure"]
+pub fn sweep_curve_with_pool(
+    problem: &PowerBoundedProblem,
+    budgets: &[Watts],
+    step: Watts,
+    pool: &Pool,
+) -> Result<Vec<SweepProfile>> {
+    // The union grid: every budget's allocation space, tagged with the
+    // budget it belongs to. Spaces are constructed exactly as
+    // `sweep_budget` constructs them so the derived profiles match it
+    // bit for bit.
+    let mut grid: Vec<(usize, PowerAllocation)> = Vec::new();
+    for (bi, &budget) in budgets.iter().enumerate() {
+        let space = AllocationSpace::new(
+            budget,
+            problem.proc_cap_range(),
+            problem.mem_cap_range(),
+            step,
+        );
+        grid.extend(space.iter().map(|alloc| (bi, alloc)));
+    }
+
+    let counters = SweepCounters::register();
+    let reuse_c = pbc_trace::counter(names::SWEEP_CURVE_REUSE_HITS);
+    counters.total.add(grid.len() as u64);
+
+    let memo = SolveMemo::for_problem(&problem.platform, &problem.workload);
+    let slots: Vec<Mutex<Option<Slot>>> = (0..grid.len()).map(|_| Mutex::new(None)).collect();
+    let errored = AtomicBool::new(false);
+    let reuse_hits = AtomicU64::new(0);
+
+    run_sweep_job(pool, &counters, grid.len(), &|i| {
+        if errored.load(Ordering::Relaxed) {
+            return;
+        }
+        let (outcome, hit) = memo.solve_traced(grid[i].1);
+        if hit {
+            reuse_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        eval_into_slot(outcome, &slots[i], &counters, &errored);
+    });
+    reuse_c.add(reuse_hits.load(Ordering::Relaxed));
+
+    let mut per_budget: Vec<Vec<SweepPoint>> = budgets.iter().map(|_| Vec::new()).collect();
+    collect_slots(slots, |i, op| {
+        let (bi, alloc) = grid[i];
+        per_budget[bi].push(SweepPoint { alloc, op });
+    })?;
+
+    Ok(budgets
+        .iter()
+        .zip(per_budget)
+        .map(|(&budget, mut points)| {
+            points.sort_by(|a, b| a.alloc.proc.0.total_cmp(&b.alloc.proc.0));
+            SweepProfile {
+                platform: problem.platform.id,
+                workload: problem.workload.name.clone(),
+                budget,
+                points,
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -294,7 +470,7 @@ mod tests {
         );
         let lost_before = pbc_trace::counter(names::SWEEP_POINTS_LOST).get();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sweep_space_with(&p, &space, |_, _, alloc| {
+            sweep_space_with(&p, &space, Pool::global(), |_, _, alloc| {
                 assert!(
                     alloc.proc.value() < 100.0,
                     "injected worker failure at {alloc:?}"
@@ -320,7 +496,7 @@ mod tests {
             p.mem_cap_range(),
             DEFAULT_STEP,
         );
-        let err = sweep_space_with(&p, &space, |platform, workload, alloc| {
+        let err = sweep_space_with(&p, &space, Pool::global(), |platform, workload, alloc| {
             if alloc.proc.value() > 100.0 {
                 return Err(PbcError::Io("sensor read failed".into()));
             }
@@ -345,7 +521,7 @@ mod tests {
         let infeasible_before = pbc_trace::counter(names::SWEEP_POINTS_INFEASIBLE).get();
         // Reject the bottom half of the proc axis as out of range: the
         // sweep must skip those points and keep the rest.
-        let profile = sweep_space_with(&p, &space, |platform, workload, alloc| {
+        let profile = sweep_space_with(&p, &space, Pool::global(), |platform, workload, alloc| {
             if alloc.proc.value() < 112.0 {
                 return Err(PbcError::CapOutOfRange {
                     component: "cpu".into(),

@@ -5,10 +5,10 @@
 //! with every point labelled with its scenario, plus the contiguous
 //! scenario spans (the paper's annotated regions).
 
+use crate::fig1::one_budget_profile;
 use crate::output::{ascii_chart, fmt, ExperimentOutput, TextTable};
 use pbc_core::{
-    classify_cpu_point, cpu_scenario_spans, sweep_budget, CriticalPowers, PowerBoundedProblem,
-    DEFAULT_STEP,
+    classify_cpu_point, cpu_scenario_spans, CriticalPowers, PowerBoundedProblem,
 };
 use pbc_platform::presets::ivybridge;
 use pbc_types::{Result, Watts};
@@ -27,8 +27,10 @@ pub fn run() -> Result<ExperimentOutput> {
     let cost = sra.demand.phases[0].1.pattern_cost;
     let criticals = CriticalPowers::probe(&cpu, &dram, &sra.demand);
 
+    // The criticals probe above already populated the workload's shared
+    // solve memo; the single-budget curve sweep reuses it.
     let problem = PowerBoundedProblem::new(platform, sra.demand.clone(), Watts::new(240.0))?;
-    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    let profile = one_budget_profile(&problem, Watts::new(240.0))?;
 
     let mut t = TextTable::new(
         "SRA at 240 W: performance and actual powers per allocation",

@@ -7,7 +7,7 @@
 
 use crate::output::{fmt, ExperimentOutput, TextTable};
 use pbc_core::{
-    cpu_scenario_spans, sweep_budget, CpuScenario, CriticalPowers, PowerBoundedProblem,
+    cpu_scenario_spans, sweep_curve, CpuScenario, CriticalPowers, PowerBoundedProblem,
     DEFAULT_STEP,
 };
 use pbc_platform::presets::ivybridge;
@@ -39,14 +39,18 @@ pub fn run() -> Result<ExperimentOutput> {
             format!("{bench_name}: scenario spans per budget"),
             &["P_b (W)", "scenarios present (low P_cpu -> high)", "has scenario I"],
         );
-        for &b in &BUDGETS {
-            let problem = PowerBoundedProblem::new(
-                platform.clone(),
-                bench.demand.clone(),
-                Watts::new(b),
-            )?;
-            let profile = sweep_budget(&problem, DEFAULT_STEP)?;
-            let spans = cpu_scenario_spans(&profile, &criticals, &dram, cost);
+        // All four budgets go through one shared-grid curve sweep: one
+        // pooled job, one solve memo, instead of four fork-join sweeps.
+        let tmpl = PowerBoundedProblem::new(
+            platform.clone(),
+            bench.demand.clone(),
+            Watts::new(BUDGETS[0]),
+        )?;
+        let budgets: Vec<Watts> = BUDGETS.iter().map(|&b| Watts::new(b)).collect();
+        let profiles = sweep_curve(&tmpl, &budgets, DEFAULT_STEP)?;
+        for profile in &profiles {
+            let b = profile.budget.value();
+            let spans = cpu_scenario_spans(profile, &criticals, &dram, cost);
             for pt in &profile.points {
                 let s = pbc_core::classify_cpu_point(&pt.op, &criticals, &dram, cost);
                 curves.push(vec![

@@ -12,7 +12,7 @@
 //!    diverge.
 
 use crate::output::{fmt, ExperimentOutput, TextTable};
-use pbc_core::{classify_gpu_point, PowerBoundedProblem, sweep_budget, DEFAULT_STEP};
+use pbc_core::{classify_gpu_point, sweep_curve, PowerBoundedProblem, DEFAULT_STEP};
 use pbc_platform::presets::{titan_v, titan_xp};
 use pbc_platform::Platform;
 use pbc_types::{Result, Watts};
@@ -37,10 +37,17 @@ fn one_bench(platform: &Platform, bench: &Benchmark, out: &mut ExperimentOutput)
         format!("{} on {}: per-cap trend", bench.id, platform.id),
         &["cap (W)", "perf @ min P_mem", "perf @ max P_mem", "direction"],
     );
-    for &cap in &CAPS {
-        let problem =
-            PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), Watts::new(cap))?;
-        let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    // One shared-grid curve sweep over all caps: reclaiming cards
+    // collapse to a handful of distinct solves per memory level, so most
+    // of the union grid is served from the solve memo.
+    let tmpl =
+        PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), Watts::new(CAPS[0]))?;
+    let caps: Vec<Watts> = CAPS.iter().map(|&c| Watts::new(c)).collect();
+    let profiles = sweep_curve(&tmpl, &caps, DEFAULT_STEP)?;
+    for profile in &profiles {
+        let cap = profile.budget.value();
+        // A cap below the card's settable range yields an empty profile;
+        // skip it exactly as the per-budget sweep did.
         if profile.points.is_empty() {
             continue;
         }

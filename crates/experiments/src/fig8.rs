@@ -6,8 +6,9 @@
 //! power magnitudes, and optimal allocation points. The full sweep data
 //! goes to CSV; the terminal shows a per-benchmark summary.
 
+use crate::fig1::one_budget_profile;
 use crate::output::{fmt, ExperimentOutput, TextTable};
-use pbc_core::{sweep_budget, PowerBoundedProblem, DEFAULT_STEP};
+use pbc_core::PowerBoundedProblem;
 use pbc_platform::presets::{haswell, ivybridge, titan_v, titan_xp};
 use pbc_platform::Platform;
 use pbc_types::{Result, Watts};
@@ -29,8 +30,10 @@ fn profile_one(
     curves: &mut TextTable,
 ) -> Result<()> {
     let budget = profile_budget(platform);
+    // Single-budget curve sweep: repeats of the same (platform, demand)
+    // pair across figures and tests share one solve memo.
     let problem = PowerBoundedProblem::new(platform.clone(), bench.demand.clone(), budget)?;
-    let profile = sweep_budget(&problem, DEFAULT_STEP)?;
+    let profile = one_budget_profile(&problem, budget)?;
     if profile.points.is_empty() {
         return Ok(());
     }

@@ -176,6 +176,32 @@ pub(crate) fn unconstrained_alloc(cpu: &CpuSpec, dram: &DramSpec) -> PowerAlloca
     )
 }
 
+/// Run every phase at one allocation and time-weight the results.
+fn run_phases(
+    cpu: &CpuSpec,
+    dram: &DramSpec,
+    demand: &WorkloadDemand,
+    weights: &[f64],
+    alloc: PowerAllocation,
+) -> (f64, Vec<PhasePoint>) {
+    let points: Vec<PhasePoint> = demand
+        .phases
+        .iter()
+        .map(|(_, p)| solve_phase(cpu, dram, p, alloc))
+        .collect();
+    let total: f64 = weights.iter().zip(&points).map(|(w, pt)| w * pt.time).sum();
+    (total, points)
+}
+
+/// The nominal (unconstrained) execution time that `perf_rel` normalizes
+/// against. Depends only on `(cpu, dram, demand)` — never on the
+/// allocation — so callers solving many allocations of the same problem
+/// (the memo, the shared-grid oracle) compute it once.
+pub(crate) fn nominal_time(cpu: &CpuSpec, dram: &DramSpec, demand: &WorkloadDemand) -> f64 {
+    let weights = demand.normalized_weights();
+    run_phases(cpu, dram, demand, &weights, unconstrained_alloc(cpu, dram)).0
+}
+
 /// Solve the steady-state operating point of a host node running
 /// `demand` under the allocation `alloc`.
 ///
@@ -188,20 +214,21 @@ pub fn solve_cpu(
     demand: &WorkloadDemand,
     alloc: PowerAllocation,
 ) -> NodeOperatingPoint {
+    solve_cpu_with_nominal(cpu, dram, demand, alloc, nominal_time(cpu, dram, demand))
+}
+
+/// [`solve_cpu`] with the nominal time precomputed by [`nominal_time`] —
+/// the hot path for memoized multi-allocation solving. Bit-identical to
+/// `solve_cpu` when `t_nominal` comes from the same `(cpu, dram, demand)`.
+pub(crate) fn solve_cpu_with_nominal(
+    cpu: &CpuSpec,
+    dram: &DramSpec,
+    demand: &WorkloadDemand,
+    alloc: PowerAllocation,
+    t_nominal: f64,
+) -> NodeOperatingPoint {
     let weights = demand.normalized_weights();
-
-    let run = |a: PowerAllocation| -> (f64, Vec<PhasePoint>) {
-        let points: Vec<PhasePoint> = demand
-            .phases
-            .iter()
-            .map(|(_, p)| solve_phase(cpu, dram, p, a))
-            .collect();
-        let total: f64 = weights.iter().zip(&points).map(|(w, pt)| w * pt.time).sum();
-        (total, points)
-    };
-
-    let (t_nominal, _) = run(unconstrained_alloc(cpu, dram));
-    let (t_capped, points) = run(alloc);
+    let (t_capped, points) = run_phases(cpu, dram, demand, &weights, alloc);
 
     // Time-weighted averages over phases.
     let mut cpu_power = 0.0;

@@ -193,7 +193,7 @@ pub fn simulate_cpu_faulty(
     const PROCHOT_HYSTERESIS_C: f64 = 5.0;
 
     let steps = config.steps();
-    let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
+    let mut samples = Vec::with_capacity(steps.div_ceil(config.sample_stride.max(1)));
     let mut work = 0.0;
     let mut energy = 0.0;
     let mut sum_cpu = 0.0;
@@ -322,7 +322,7 @@ pub fn simulate_cpu_with_events(
     let mut next_event = 0usize;
 
     let steps = config.steps();
-    let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
+    let mut samples = Vec::with_capacity(steps.div_ceil(config.sample_stride.max(1)));
     let mut work = 0.0;
     let mut energy = 0.0;
     let mut sum_cpu = 0.0;
@@ -436,7 +436,7 @@ pub fn simulate_gpu_faulty(
     let cycle_work = 0.25 * nominal_rate;
 
     let steps = config.steps();
-    let mut samples = Vec::with_capacity(steps / config.sample_stride.max(1) + 1);
+    let mut samples = Vec::with_capacity(steps.div_ceil(config.sample_stride.max(1)));
     let mut work = 0.0;
     let mut energy = 0.0;
     let mut sum_sm = 0.0;
@@ -757,5 +757,29 @@ mod tests {
         let sim = simulate_cpu(&cpu, &dram, &w, alloc, &cfg);
         assert!(sim.samples.len() <= 11);
         assert!(!sim.samples.is_empty());
+    }
+
+    #[test]
+    fn trace_capacity_is_exact() {
+        // The sample vector is sized up front with div_ceil(steps,
+        // stride); the push loop must fill it exactly — no reallocation
+        // (growth) and no slack (over-allocation).
+        let (cpu, dram) = cpu_node();
+        let w = WorkloadDemand::single("stream", PhaseDemand::stream_bound());
+        let alloc = PowerAllocation::new(Watts::new(120.0), Watts::new(90.0));
+        for stride in [1usize, 3, 7, 10, 100, 1000, 5000] {
+            let mut cfg = config();
+            cfg.sample_stride = stride;
+            let sim = simulate_cpu(&cpu, &dram, &w, alloc, &cfg);
+            let steps = cfg.steps();
+            assert_eq!(sim.samples.len(), steps.div_ceil(stride), "stride {stride}");
+            assert_eq!(
+                sim.samples.capacity(),
+                sim.samples.len(),
+                "stride {stride}: capacity {} for {} samples",
+                sim.samples.capacity(),
+                sim.samples.len()
+            );
+        }
     }
 }

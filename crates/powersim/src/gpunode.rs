@@ -118,6 +118,36 @@ pub fn uncapped_demand(gpu: &GpuSpec, demand: &WorkloadDemand) -> (Watts, Watts,
     (Watts::new(sm + mem), Watts::new(sm), Watts::new(mem))
 }
 
+/// Validate an allocation against the card's settable cap range and
+/// return the effective card cap: totals below [`GpuSpec::min_card_cap`]
+/// are rejected (as the driver does), totals above the maximum are
+/// clamped to it.
+#[must_use = "the effective card cap or the range rejection must be inspected"]
+pub(crate) fn check_card_cap(gpu: &GpuSpec, alloc: PowerAllocation) -> Result<Watts> {
+    let requested = alloc.total();
+    if requested < gpu.min_card_cap {
+        return Err(PbcError::CapOutOfRange {
+            component: gpu.name.clone(),
+            requested,
+            min: gpu.min_card_cap,
+            max: gpu.max_card_cap,
+        });
+    }
+    Ok(requested.min(gpu.max_card_cap))
+}
+
+/// The unconstrained reference time that `perf_rel` normalizes against:
+/// top clocks, no cap check. Depends only on `(gpu, demand)`.
+pub(crate) fn nominal_time_gpu(gpu: &GpuSpec, demand: &WorkloadDemand) -> f64 {
+    let weights = demand.normalized_weights();
+    let mut t_nom = 0.0;
+    for (w, phase) in weights.iter().zip(demand.phases.iter().map(|(_, p)| p)) {
+        let pt = compose_at(gpu, phase, gpu.sm.top(), gpu.mem.top());
+        t_nom += w * pt.time;
+    }
+    t_nom
+}
+
 /// Solve the steady-state operating point of a GPU card.
 ///
 /// `alloc.proc` is the SM share and `alloc.mem` the memory share of the
@@ -130,16 +160,25 @@ pub fn solve_gpu(
     demand: &WorkloadDemand,
     alloc: PowerAllocation,
 ) -> Result<NodeOperatingPoint> {
-    let requested = alloc.total();
-    if requested < gpu.min_card_cap {
-        return Err(PbcError::CapOutOfRange {
-            component: gpu.name.clone(),
-            requested,
-            min: gpu.min_card_cap,
-            max: gpu.max_card_cap,
-        });
-    }
-    let card_cap = requested.min(gpu.max_card_cap);
+    // Reject out-of-range caps before paying for the nominal run: the
+    // sweep probes the infeasible region constantly and rejection must
+    // stay cheap.
+    check_card_cap(gpu, alloc)?;
+    solve_gpu_with_nominal(gpu, demand, alloc, nominal_time_gpu(gpu, demand))
+}
+
+/// [`solve_gpu`] with the nominal time precomputed by
+/// [`nominal_time_gpu`] — the hot path for memoized multi-allocation
+/// solving. Bit-identical to `solve_gpu` when `t_nom` comes from the
+/// same `(gpu, demand)`.
+#[must_use = "the operating point or the solver failure must be inspected"]
+pub(crate) fn solve_gpu_with_nominal(
+    gpu: &GpuSpec,
+    demand: &WorkloadDemand,
+    alloc: PowerAllocation,
+    t_nom: f64,
+) -> Result<NodeOperatingPoint> {
+    let card_cap = check_card_cap(gpu, alloc)?;
 
     // The memory allocation buys a clock level (worst-case fit).
     let mem_level = gpu.mem.level_under_cap(alloc.mem);
@@ -154,13 +193,6 @@ pub fn solve_gpu(
         t_total += w * pt.time;
         points.push(pt);
         clocks.push(c);
-    }
-
-    // Unconstrained reference: top clocks, no cap check.
-    let mut t_nom = 0.0;
-    for (w, phase) in weights.iter().zip(demand.phases.iter().map(|(_, p)| p)) {
-        let pt = compose_at(gpu, phase, gpu.sm.top(), gpu.mem.top());
-        t_nom += w * pt.time;
     }
 
     // Time-weighted aggregates.

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod gpuctl;
 pub mod gpunode;
 pub mod memctl;
+pub mod memo;
 pub mod operating;
 pub mod rapl;
 pub mod sockets;
@@ -59,6 +60,7 @@ pub use demand::{PhaseDemand, WorkloadDemand};
 pub use gpuctl::GpuCapper;
 pub use gpunode::{solve_gpu, uncapped_demand};
 pub use memctl::DramThrottle;
+pub use memo::SolveMemo;
 pub use operating::{CpuMechanismState, GpuMechanismState, MechanismState, NodeOperatingPoint};
 pub use rapl::RaplController;
 pub use sockets::{coordinate_sockets, single_socket_spec, solve_per_socket, SocketOperatingPoint};

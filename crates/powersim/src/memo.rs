@@ -1,0 +1,401 @@
+//! Memoized solving: a canonical-key cache over [`solve_cpu`] /
+//! [`solve_gpu`] for callers that solve many allocations of the same
+//! `(platform, demand)` problem — the shared-grid oracle, COORD
+//! profiling, critical-power boundary walks, baseline comparisons.
+//!
+//! ## Why the keys are exact, not approximate
+//!
+//! A naive memo would quantize the allocation to a fixed grid and accept
+//! near-miss lookups; that trades accuracy for hits and would break the
+//! repo's bit-identical equivalence tests. Instead the key is the tuple
+//! of values the solver *actually* depends on, exploiting the hardware
+//! models' own quantization:
+//!
+//! * **CPU** — `alloc.mem` enters the solver only through
+//!   [`dram_bw_ceiling`], which quantizes the cap down to the DRAM
+//!   throttle grid (and floors/saturates it); `alloc.proc` enters only
+//!   as the RAPL comparison cap. The key is therefore
+//!   `(proc-cap bits, per-phase bandwidth-ceiling bits)`: two
+//!   allocations with equal keys are *provably* solved to the same
+//!   operating point, and distinct solver inputs always get distinct
+//!   keys. On a hit only `alloc` itself is patched onto the cached
+//!   point.
+//! * **GPU** — the solver depends on `(effective card cap, memory clock
+//!   level, and — only on non-reclaiming cards — the SM share)`. Within
+//!   one budget's sweep every allocation shares the card cap, so a
+//!   reclaiming card collapses to roughly one solve per exposed memory
+//!   level. On a hit `alloc` and the derived `reclaimed` watts are
+//!   recomputed exactly as the solver would.
+//!
+//! The nominal (unconstrained) reference time depends only on the
+//! problem, never the allocation, so each memo computes it once — this
+//! alone halves the CPU solver's cost even at a 0% hit rate.
+//!
+//! Hits and misses are observable as `solve.cache_hits` /
+//! `solve.cache_misses`. Memoized misses call the split solver entry
+//! points directly and are *not* counted in `solve.evaluations`, which
+//! keeps that counter an honest measure of full-price solver work.
+
+use crate::cpunode::{self, dram_bw_ceiling, solve_cpu_with_nominal};
+use crate::demand::WorkloadDemand;
+use crate::gpunode::{self, check_card_cap, solve_gpu_with_nominal};
+use crate::operating::{MechanismState, NodeOperatingPoint};
+use pbc_platform::{CpuSpec, DramSpec, GpuSpec, NodeSpec, Platform};
+use pbc_types::{PowerAllocation, Result, Watts};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Canonical cache key: exactly the solver's effective inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Cpu {
+        proc_bits: u64,
+        /// Per-phase quantized bandwidth ceilings (f64 bit patterns).
+        bw_bits: Vec<u64>,
+    },
+    Gpu {
+        card_cap_bits: u64,
+        mem_level: usize,
+        /// SM-share bit pattern on non-reclaiming cards; `None` on
+        /// reclaiming cards, where the SM share never enters the solve.
+        sm_bits: Option<u64>,
+    },
+}
+
+enum Bound {
+    Cpu { cpu: CpuSpec, dram: DramSpec },
+    Gpu(GpuSpec),
+}
+
+/// A memoized solver for one `(platform, demand)` problem. Thread-safe:
+/// the shared-grid oracle hits one memo from every pool executor.
+pub struct SolveMemo {
+    bound: Bound,
+    demand: WorkloadDemand,
+    nominal: OnceLock<f64>,
+    cache: Mutex<HashMap<Key, NodeOperatingPoint>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Process-wide memo registry, keyed by an exact fingerprint of the
+/// problem (the debug rendering of the full spec and demand — verbose,
+/// but collision-free). Entries live for the process; the solver state
+/// they cache is immutable, and `clear_shared` exists for cold-cache
+/// benchmarking.
+fn registry() -> &'static Mutex<HashMap<String, Arc<SolveMemo>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<SolveMemo>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn shared(fingerprint: String, build: impl FnOnce() -> SolveMemo) -> Arc<SolveMemo> {
+    let mut reg = lock(registry());
+    Arc::clone(reg.entry(fingerprint).or_insert_with(|| Arc::new(build())))
+}
+
+impl SolveMemo {
+    /// The shared memo for a host-node problem.
+    pub fn for_cpu(cpu: &CpuSpec, dram: &DramSpec, demand: &WorkloadDemand) -> Arc<SolveMemo> {
+        shared(format!("cpu|{cpu:?}|{dram:?}|{demand:?}"), || SolveMemo {
+            bound: Bound::Cpu { cpu: cpu.clone(), dram: dram.clone() },
+            demand: demand.clone(),
+            nominal: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The shared memo for a GPU-card problem.
+    pub fn for_gpu(gpu: &GpuSpec, demand: &WorkloadDemand) -> Arc<SolveMemo> {
+        shared(format!("gpu|{gpu:?}|{demand:?}"), || SolveMemo {
+            bound: Bound::Gpu(gpu.clone()),
+            demand: demand.clone(),
+            nominal: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The shared memo for any platform kind (dispatches like
+    /// [`crate::solve`]).
+    pub fn for_problem(platform: &Platform, demand: &WorkloadDemand) -> Arc<SolveMemo> {
+        match &platform.spec {
+            NodeSpec::Cpu { cpu, dram } => Self::for_cpu(cpu, dram, demand),
+            NodeSpec::Gpu(gpu) => Self::for_gpu(gpu, demand),
+        }
+    }
+
+    /// A private (unshared) memo — for tests and benches that need a
+    /// cold cache regardless of what the rest of the process solved.
+    pub fn fresh(platform: &Platform, demand: &WorkloadDemand) -> SolveMemo {
+        let bound = match &platform.spec {
+            NodeSpec::Cpu { cpu, dram } => Bound::Cpu { cpu: cpu.clone(), dram: dram.clone() },
+            NodeSpec::Gpu(gpu) => Bound::Gpu(gpu.clone()),
+        };
+        SolveMemo {
+            bound,
+            demand: demand.clone(),
+            nominal: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Drop every shared memo. Benches call this between iterations so
+    /// timings measure a cold cache instead of earlier iterations' work.
+    pub fn clear_shared() {
+        lock(registry()).clear();
+    }
+
+    /// Cached entries in this memo.
+    pub fn len(&self) -> usize {
+        lock(&self.cache).len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Solve `alloc`, through the cache. Results are bit-identical to
+    /// the un-memoized solver (see the module docs for why).
+    #[must_use = "the operating point or the solver failure must be inspected"]
+    pub fn solve(&self, alloc: PowerAllocation) -> Result<NodeOperatingPoint> {
+        self.solve_traced(alloc).0
+    }
+
+    /// [`SolveMemo::solve`], also reporting whether the cache served the
+    /// result (`true` = hit). The shared-grid oracle uses this for its
+    /// `sweep.curve_reuse_hits` accounting.
+    #[must_use = "the operating point or the solver failure must be inspected"]
+    pub fn solve_traced(&self, alloc: PowerAllocation) -> (Result<NodeOperatingPoint>, bool) {
+        static COUNTERS: OnceLock<(pbc_trace::Counter, pbc_trace::Counter)> = OnceLock::new();
+        let (hits_c, misses_c) = COUNTERS.get_or_init(|| {
+            (
+                pbc_trace::counter(pbc_trace::names::SOLVE_CACHE_HITS),
+                pbc_trace::counter(pbc_trace::names::SOLVE_CACHE_MISSES),
+            )
+        });
+        match &self.bound {
+            Bound::Cpu { cpu, dram } => {
+                let bw_bits: Vec<u64> = self
+                    .demand
+                    .phases
+                    .iter()
+                    .map(|(_, p)| {
+                        dram_bw_ceiling(dram, alloc.mem, p.pattern_cost).value().to_bits()
+                    })
+                    .collect();
+                let key = Key::Cpu { proc_bits: alloc.proc.value().to_bits(), bw_bits };
+                if let Some(cached) = lock(&self.cache).get(&key) {
+                    hits_c.incr();
+                    let mut op = cached.clone();
+                    op.alloc = alloc;
+                    return (Ok(op), true);
+                }
+                misses_c.incr();
+                let t_nominal =
+                    *self.nominal.get_or_init(|| cpunode::nominal_time(cpu, dram, &self.demand));
+                let op = solve_cpu_with_nominal(cpu, dram, &self.demand, alloc, t_nominal);
+                lock(&self.cache).insert(key, op.clone());
+                (Ok(op), false)
+            }
+            Bound::Gpu(gpu) => {
+                // Infeasible caps are rejected per call, not cached:
+                // rejection is already cheaper than a cache probe.
+                let card_cap = match check_card_cap(gpu, alloc) {
+                    Ok(cap) => cap,
+                    Err(e) => return (Err(e), false),
+                };
+                let key = Key::Gpu {
+                    card_cap_bits: card_cap.value().to_bits(),
+                    mem_level: gpu.mem.level_under_cap(alloc.mem),
+                    sm_bits: if gpu.reclaims_unused {
+                        None
+                    } else {
+                        Some(alloc.proc.value().to_bits())
+                    },
+                };
+                if let Some(cached) = lock(&self.cache).get(&key) {
+                    hits_c.incr();
+                    let mut op = cached.clone();
+                    op.alloc = alloc;
+                    if let MechanismState::Gpu(st) = &mut op.mechanism {
+                        // Recompute the derived reclaimed watts exactly
+                        // as the solver does for this allocation.
+                        st.reclaimed = if gpu.reclaims_unused {
+                            (op.proc_power - alloc.proc).max(Watts::ZERO)
+                        } else {
+                            Watts::ZERO
+                        };
+                    }
+                    return (Ok(op), true);
+                }
+                misses_c.incr();
+                let t_nom =
+                    *self.nominal.get_or_init(|| gpunode::nominal_time_gpu(gpu, &self.demand));
+                let result = solve_gpu_with_nominal(gpu, &self.demand, alloc, t_nom);
+                if let Ok(op) = &result {
+                    lock(&self.cache).insert(key, op.clone());
+                }
+                (result, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::PhaseDemand;
+    use crate::solve;
+    use pbc_platform::presets::{haswell, ivybridge, titan_xp};
+    use pbc_types::Watts;
+
+    fn cpu_demands() -> Vec<WorkloadDemand> {
+        vec![
+            WorkloadDemand::single("sra-like", PhaseDemand::random_bound()),
+            WorkloadDemand::single("stream-like", PhaseDemand::stream_bound()),
+            WorkloadDemand::single("dgemm-like", PhaseDemand::compute_bound()),
+            WorkloadDemand::phased(
+                "mixed",
+                vec![
+                    (0.7, PhaseDemand::compute_bound()),
+                    (0.3, PhaseDemand::stream_bound()),
+                ],
+            ),
+        ]
+    }
+
+    fn sgemm_like() -> WorkloadDemand {
+        WorkloadDemand::single(
+            "sgemm-like",
+            PhaseDemand {
+                compute_efficiency: 0.85,
+                arithmetic_intensity: 40.0,
+                bw_saturation: 0.5,
+                pattern_cost: 1.0,
+                overlap: 0.95,
+                issue_sensitivity: 0.3,
+                act_compute: 1.0,
+                act_stall: 0.3,
+            },
+        )
+    }
+
+    fn gpu_stream_like() -> WorkloadDemand {
+        WorkloadDemand::single(
+            "gpu-stream-like",
+            PhaseDemand {
+                compute_efficiency: 0.12,
+                arithmetic_intensity: 0.08,
+                bw_saturation: 0.95,
+                pattern_cost: 1.0,
+                overlap: 0.9,
+                issue_sensitivity: 0.5,
+                act_compute: 0.7,
+                act_stall: 0.3,
+            },
+        )
+    }
+
+    fn op_bits(op: &NodeOperatingPoint) -> Vec<u64> {
+        vec![
+            op.alloc.proc.value().to_bits(),
+            op.alloc.mem.value().to_bits(),
+            op.perf_rel.to_bits(),
+            op.proc_power.value().to_bits(),
+            op.mem_power.value().to_bits(),
+            op.work_rate.to_bits(),
+            op.bandwidth.value().to_bits(),
+            op.proc_busy.to_bits(),
+        ]
+    }
+
+    #[test]
+    fn cpu_memo_matches_direct_solver_bit_for_bit() {
+        for platform in [ivybridge(), haswell()] {
+            for demand in cpu_demands() {
+                let memo = SolveMemo::fresh(&platform, &demand);
+                for proc in (60..=200).step_by(7) {
+                    for mem in (40..=160).step_by(11) {
+                        let alloc = PowerAllocation::new(
+                            Watts::new(proc as f64),
+                            Watts::new(mem as f64),
+                        );
+                        let direct = solve(&platform, &demand, alloc).unwrap();
+                        let memoed = memo.solve(alloc).unwrap();
+                        assert_eq!(
+                            op_bits(&direct),
+                            op_bits(&memoed),
+                            "{} {alloc:?}",
+                            demand.name
+                        );
+                        assert_eq!(direct.mechanism, memoed.mechanism);
+                    }
+                }
+                // The throttle grid decides how much the mem axis
+                // collapses; the hard guarantee is only that the cache
+                // never exceeds the distinct solver inputs.
+                assert!(memo.len() <= 21 * 11, "{} cached", memo.len());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_memo_matches_direct_solver_bit_for_bit() {
+        let platform = titan_xp();
+        for demand in [sgemm_like(), gpu_stream_like()] {
+            let memo = SolveMemo::fresh(&platform, &demand);
+            for total in [130.0, 140.0, 200.0, 250.0, 300.0] {
+                for mem_frac in [0.1, 0.25, 0.4, 0.6] {
+                    let mem = total * mem_frac;
+                    let alloc = PowerAllocation::new(Watts::new(total - mem), Watts::new(mem));
+                    let direct = solve(&platform, &demand, alloc).unwrap();
+                    let memoed = memo.solve(alloc).unwrap();
+                    assert_eq!(op_bits(&direct), op_bits(&memoed), "{} {alloc:?}", demand.name);
+                    assert_eq!(direct.mechanism, memoed.mechanism);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_memo_rejects_infeasible_like_the_solver() {
+        let platform = titan_xp();
+        let demand = sgemm_like();
+        let memo = SolveMemo::fresh(&platform, &demand);
+        let alloc = PowerAllocation::new(Watts::new(40.0), Watts::new(30.0));
+        let direct = solve(&platform, &demand, alloc).unwrap_err();
+        let memoed = memo.solve(alloc).unwrap_err();
+        assert_eq!(direct, memoed);
+        assert!(memo.is_empty(), "errors must not be cached");
+    }
+
+    #[test]
+    fn second_solve_is_a_hit() {
+        let platform = ivybridge();
+        let demand = WorkloadDemand::single("sra-like", PhaseDemand::random_bound());
+        let memo = SolveMemo::fresh(&platform, &demand);
+        let alloc = PowerAllocation::new(Watts::new(112.0), Watts::new(116.0));
+        let (first, hit1) = memo.solve_traced(alloc);
+        let (second, hit2) = memo.solve_traced(alloc);
+        assert!(!hit1 && hit2);
+        assert_eq!(
+            op_bits(&first.unwrap()),
+            op_bits(&second.unwrap()),
+            "hit must be bit-identical to the miss"
+        );
+    }
+
+    #[test]
+    fn shared_registry_returns_the_same_memo() {
+        let platform = ivybridge();
+        let stream = WorkloadDemand::single("stream-like", PhaseDemand::stream_bound());
+        let a = SolveMemo::for_problem(&platform, &stream);
+        let b = SolveMemo::for_problem(&platform, &stream);
+        assert!(Arc::ptr_eq(&a, &b));
+        let sra = WorkloadDemand::single("sra-like", PhaseDemand::random_bound());
+        let other = SolveMemo::for_problem(&platform, &sra);
+        assert!(!Arc::ptr_eq(&a, &other));
+    }
+}

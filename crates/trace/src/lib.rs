@@ -200,6 +200,20 @@ pub fn bench_record_line(
     .render()
 }
 
+/// Render one derived-ratio record as a JSON line (`"type":"bench-ratio"`).
+/// Ratios relate two measured benchmarks (e.g. a baseline median over an
+/// optimized median) so CI can gate on a speedup rather than on absolute
+/// nanoseconds, which vary across machines.
+#[must_use]
+pub fn bench_ratio_record_line(name: &str, ratio: f64) -> String {
+    Value::Obj(vec![
+        ("type".into(), Value::Str("bench-ratio".into())),
+        ("name".into(), Value::Str(name.into())),
+        ("ratio".into(), Value::Num(ratio)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +343,15 @@ mod tests {
         assert_eq!(v.get("samples").and_then(Value::as_u64), Some(64));
         let med = v.get("median_ns").and_then(Value::as_f64).unwrap();
         assert!((med - 120.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_ratio_record_is_parseable() {
+        let line = bench_ratio_record_line("sweep/curve-vs-budgets-speedup", 3.5);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("bench-ratio"));
+        let ratio = v.get("ratio").and_then(Value::as_f64).unwrap();
+        assert!((ratio - 3.5).abs() < 1e-12);
     }
 
     #[test]

@@ -26,6 +26,22 @@ pub const SWEEP_POINTS_LOST: &str = "sweep.points_lost";
 /// fails the sweep loudly.
 pub const SWEEP_SOLVER_ERRORS: &str = "sweep.solver_errors";
 
+/// Points the shared-grid oracle (`sweep_curve`) served from an already
+/// evaluated union-grid entry instead of re-solving.
+pub const SWEEP_CURVE_REUSE_HITS: &str = "sweep.curve_reuse_hits";
+
+// --- work-stealing pool (crates/par) ----------------------------------
+
+/// One-time gauge: executors the process-wide pool was sized with
+/// (`PBC_THREADS` override, else available parallelism). A value of 1 in
+/// a trace explains a serialized sweep.
+pub const POOL_THREADS: &str = "pool.threads";
+/// Jobs submitted to a pool.
+pub const POOL_JOBS: &str = "pool.jobs";
+/// Index ranges executed by an executor that did not own them (the
+/// load-balancing the pool exists for).
+pub const POOL_STEALS: &str = "pool.steals";
+
 // --- solver (crates/powersim) -----------------------------------------
 
 /// Calls into `pbc_powersim::solve`.
@@ -34,6 +50,11 @@ pub const SOLVE_EVALUATIONS: &str = "solve.evaluations";
 pub const SOLVE_INFEASIBLE: &str = "solve.infeasible";
 /// Solves that failed with a real error.
 pub const SOLVE_ERRORS: &str = "solve.errors";
+/// Memoized solves served from a `SolveMemo` cache (no re-integration
+/// of the control loops). Not counted in [`SOLVE_EVALUATIONS`].
+pub const SOLVE_CACHE_HITS: &str = "solve.cache_hits";
+/// Memoized solves that missed the cache and ran the real solver.
+pub const SOLVE_CACHE_MISSES: &str = "solve.cache_misses";
 
 // --- static coordinator (crates/core/src/coord.rs) --------------------
 

@@ -41,11 +41,13 @@ pub struct KernelConfig {
 }
 
 impl KernelConfig {
-    /// A small configuration suitable for CI and tests.
+    /// A small configuration suitable for CI and tests. Thread count
+    /// follows `PBC_THREADS` (see [`pbc_par::configured_threads`]) so one
+    /// knob sizes every thread team in the workspace.
     pub fn small() -> Self {
         Self {
             size: 1 << 16,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: pbc_par::configured_threads(),
             iterations: 3,
         }
     }
@@ -54,7 +56,7 @@ impl KernelConfig {
     pub fn measure() -> Self {
         Self {
             size: 1 << 22,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: pbc_par::configured_threads(),
             iterations: 5,
         }
     }

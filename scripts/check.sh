@@ -48,4 +48,15 @@ PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench sweep
 test -s BENCH_sweep.json || { echo "error: sweep bench wrote no records" >&2; exit 1; }
 echo "    records: BENCH_sweep.json"
 
+echo "==> shared-grid oracle speedup gate (curve >= 2x over per-budget sweeps)"
+# The sweep bench records the curve-vs-independent median ratio as a
+# "type":"bench-ratio" line; the optimization must hold its 2x bar.
+ratio=$(grep '"type":"bench-ratio"' BENCH_sweep.json \
+    | grep '"name":"sweep/curve-vs-budgets-speedup"' \
+    | sed 's/.*"ratio"://; s/[^0-9.].*//')
+test -n "$ratio" || { echo "error: no bench-ratio record in BENCH_sweep.json" >&2; exit 1; }
+awk -v r="$ratio" 'BEGIN { exit (r >= 2.0 ? 0 : 1) }' \
+    || { echo "error: curve speedup ${ratio}x is below the 2x bar" >&2; exit 1; }
+echo "    curve speedup: ${ratio}x"
+
 echo "all checks passed"
