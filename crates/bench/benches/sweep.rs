@@ -50,6 +50,7 @@ fn main() {
 
     curve_vs_independent_budgets(&mut bench);
     solve_memo(&mut bench);
+    cluster_water_fill(&mut bench);
 
     // The conservation law, over everything the timed runs accumulated.
     let counters = pbc_trace::snapshot().counters;
@@ -132,5 +133,43 @@ fn solve_memo(bench: &mut Bench) {
     let memo = SolveMemo::fresh(&problem.platform, &problem.workload);
     bench.run("solve/memo-hit", || {
         memo.solve(black_box(alloc)).expect("solve succeeds")
+    });
+}
+
+/// The cluster partitioner on a profiled 32-node mixed fleet — the cost
+/// of one water-filling pass, with class profiling kept outside the
+/// timed region (it is a one-time setup cost).
+fn cluster_water_fill(bench: &mut Bench) {
+    use pbc_cluster::{water_fill, Fleet, NodeCurve, SpecLine, DEFAULT_GRANT};
+    let spec: Vec<SpecLine> = [
+        (10, "ivybridge", "stream"),
+        (8, "haswell", "dgemm"),
+        (6, "ivybridge", "sra"),
+        (5, "titan-xp", "sgemm"),
+        (3, "titan-v", "minife"),
+    ]
+    .into_iter()
+    .map(|(count, platform, workload)| SpecLine {
+        count,
+        platform: platform.to_string(),
+        bench: workload.to_string(),
+    })
+    .collect();
+    let fleet = Fleet::build(&spec).expect("fleet profiles");
+    let curves: Vec<NodeCurve> = fleet
+        .nodes
+        .iter()
+        .map(|&c| NodeCurve {
+            floor: fleet.classes[c].floor,
+            curve: &fleet.classes[c].curve,
+        })
+        .collect();
+    let global = Watts::new(130.0 * curves.len() as f64);
+
+    bench.run("cluster/water-fill-32", || {
+        let shares = water_fill(black_box(&curves), black_box(global), DEFAULT_GRANT)
+            .expect("partition succeeds");
+        assert_eq!(shares.len(), curves.len());
+        shares
     });
 }

@@ -29,6 +29,10 @@ USAGE:
   pbc chaos     -p PLATFORM -w BENCH -b WATTS [--plan NAME] [--seed N]
                 [--epochs N]             run a fault plan against the
                                         online loop, print survival report
+  pbc cluster   -p SPEC-FILE -b WATTS [--plan NAME] [--seed N]
+                [--epochs N]             coordinate a fleet of nodes under
+                                        one global budget; with --epochs,
+                                        replay a fault plan on top
   pbc rapl-status                       read real RAPL domains (Linux)
 
 Global options:
@@ -271,6 +275,17 @@ fn run(argv: &[String]) -> Result<String, String> {
                 a.plan.as_deref().unwrap_or("everything"),
                 a.seed.unwrap_or(42),
                 a.epochs.unwrap_or(200),
+            )
+            .map_err(e)
+        }
+        "cluster" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_cluster(
+                &need(a.platform, "-p SPEC-FILE")?,
+                need(a.budget, "-b WATTS")?,
+                a.plan.as_deref().unwrap_or("calm"),
+                a.seed.unwrap_or(42),
+                a.epochs.unwrap_or(0),
             )
             .map_err(e)
         }

@@ -29,6 +29,7 @@ use pbc_workloads::{all_benchmarks, by_name, Benchmark};
 use std::fmt::Write as _;
 
 /// Resolve a platform slug.
+#[must_use = "the resolved platform carries either the preset or the lookup failure"]
 pub fn platform(slug: &str) -> Result<Platform> {
     PlatformId::from_slug(slug)
         .map(presets::by_id)
@@ -40,6 +41,7 @@ pub fn platform(slug: &str) -> Result<Platform> {
 }
 
 /// Resolve a benchmark slug.
+#[must_use = "the resolved benchmark carries either the workload or the lookup failure"]
 pub fn benchmark(slug: &str) -> Result<Benchmark> {
     by_name(slug).ok_or_else(|| {
         let names: Vec<&str> = all_benchmarks().iter().map(|b| b.id.slug()).collect();
@@ -90,6 +92,7 @@ pub fn cmd_benchmarks() -> String {
 }
 
 /// `pbc probe -p <platform> -w <bench>`
+#[must_use = "the rendered probe table is the command's entire output"]
 pub fn cmd_probe(platform_slug: &str, bench_slug: &str) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
@@ -122,6 +125,7 @@ pub fn cmd_probe(platform_slug: &str, bench_slug: &str) -> Result<String> {
 }
 
 /// `pbc coord -p <platform> -w <bench> -b <watts>`
+#[must_use = "the rendered decision is the command's entire output"]
 pub fn cmd_coord(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
@@ -159,6 +163,7 @@ pub fn cmd_coord(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<S
 }
 
 /// `pbc sweep -p <platform> -w <bench> -b <watts> [--save <path>]`
+#[must_use = "the rendered sweep table is the command's entire output"]
 pub fn cmd_sweep(
     platform_slug: &str,
     bench_slug: &str,
@@ -204,6 +209,43 @@ pub fn cmd_sweep(
     Ok(out)
 }
 
+/// Validate a `-b W1,W2,...` budget list before handing it to the
+/// shared-grid oracle: an empty list, a non-finite or non-positive
+/// value, or a duplicated budget each get a typed error naming the
+/// offender, instead of surfacing later as a confusing sweep failure.
+fn validate_budget_list(budgets: &[f64]) -> Result<()> {
+    if budgets.is_empty() {
+        return Err(PbcError::InvalidInput(
+            "curve needs at least one budget, e.g. -b 176,208,240".into(),
+        ));
+    }
+    for &w in budgets {
+        if !w.is_finite() {
+            return Err(PbcError::InvalidInput(format!(
+                "curve budget {w:?} is not a finite wattage"
+            )));
+        }
+        if w <= 0.0 {
+            return Err(PbcError::InvalidInput(format!(
+                "curve budget {w} W is not positive"
+            )));
+        }
+    }
+    // Duplicates would silently sweep the same budget twice and render
+    // two identical rows; detect them by exact bit pattern.
+    let mut sorted = budgets.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for pair in sorted.windows(2) {
+        if pair[0].to_bits() == pair[1].to_bits() {
+            return Err(PbcError::InvalidInput(format!(
+                "curve budget {} W appears more than once",
+                pair[0]
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// `pbc curve -p <platform> -w <bench> -b <w1,w2,...>` — the shared-grid
 /// multi-budget oracle: every budget's sweep in one pooled job over the
 /// union grid, solver work shared through the workload's solve memo.
@@ -211,11 +253,7 @@ pub fn cmd_sweep(
 pub fn cmd_curve(platform_slug: &str, bench_slug: &str, budgets: &[f64]) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
-    if budgets.is_empty() {
-        return Err(PbcError::InvalidInput(
-            "curve needs at least one budget, e.g. -b 176,208,240".into(),
-        ));
-    }
+    validate_budget_list(budgets)?;
     let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budgets[0]))?;
     let watts: Vec<Watts> = budgets.iter().map(|&w| Watts::new(w)).collect();
     let profiles = sweep_curve(&problem, &watts, DEFAULT_STEP)?;
@@ -253,6 +291,7 @@ pub fn cmd_curve(platform_slug: &str, bench_slug: &str, budgets: &[f64]) -> Resu
 }
 
 /// `pbc scenarios -p <platform> -w <bench> -b <watts>` (CPU platforms).
+#[must_use = "the rendered scenario table is the command's entire output"]
 pub fn cmd_scenarios(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
@@ -284,6 +323,7 @@ pub fn cmd_scenarios(platform_slug: &str, bench_slug: &str, budget: f64) -> Resu
 }
 
 /// `pbc online -p <platform> -w <bench> -b <watts>`
+#[must_use = "the rendered convergence log is the command's entire output"]
 pub fn cmd_online(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
@@ -337,7 +377,107 @@ pub fn cmd_chaos(
     Ok(report.to_string())
 }
 
+/// `pbc cluster -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]`
+///
+/// Hierarchical coordination for a fleet of simulated nodes under one
+/// global budget. The spec file lists `[COUNT] PLATFORM BENCH` lines
+/// (see `docs/CLUSTER.md`). The static comparison always runs; with
+/// `--epochs N` the dynamic loop replays a fault plan on top.
+#[must_use = "the rendered fleet comparison is the command's entire output"]
+pub fn cmd_cluster(
+    spec_path: &str,
+    budget: f64,
+    plan_name: &str,
+    seed: u64,
+    epochs: usize,
+) -> Result<String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| PbcError::Io(format!("could not read fleet spec {spec_path:?}: {e}")))?;
+    let spec = pbc_cluster::parse_spec(&text)?;
+    let fleet = pbc_cluster::Fleet::build(&spec)?;
+    let global = Watts::new(budget);
+    let coordinator = pbc_cluster::ClusterCoordinator::new(fleet, global)?;
+
+    let mut out = String::new();
+    let fleet = coordinator.fleet();
+    let _ = writeln!(
+        out,
+        "fleet: {} nodes in {} classes, global budget {:.1} W (floor {:.1} W)",
+        fleet.len(),
+        fleet.classes.len(),
+        global.value(),
+        fleet.min_total_power().value()
+    );
+    for (idx, class) in fleet.classes.iter().enumerate() {
+        let count = fleet.nodes.iter().filter(|&&c| c == idx).count();
+        let _ = writeln!(
+            out,
+            "  {:>4} x {:<10} {:<10} floor {:>6.1} W  ceiling {:>6.1} W",
+            count,
+            class.platform.id.to_string(),
+            class.bench,
+            class.floor.value(),
+            class.ceiling.value()
+        );
+    }
+
+    let smart = coordinator.coordinate()?;
+    let naive = coordinator.uniform_decision()?;
+    let oracle = coordinator.oracle_aggregate()?;
+    let _ = writeln!(
+        out,
+        "aggregate perf COORD:         {:>8.3}  ({} infeasible nodes)",
+        smart.aggregate_perf, smart.infeasible
+    );
+    let _ = writeln!(
+        out,
+        "aggregate perf uniform-split: {:>8.3}  ({} infeasible nodes)",
+        naive.aggregate_perf, naive.infeasible
+    );
+    let _ = writeln!(out, "aggregate perf oracle:        {oracle:>8.3}");
+
+    if epochs > 0 {
+        let plan = pbc_cluster::ClusterFaultPlan::by_name(plan_name, seed).ok_or_else(|| {
+            PbcError::NotFound(format!(
+                "cluster fault plan {plan_name:?}; known: {}",
+                pbc_cluster::PLAN_NAMES.join(", ")
+            ))
+        })?;
+        let mut coordinator = coordinator.with_plan(plan)?;
+        let report = coordinator.run(epochs)?;
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "dynamic run: {} epochs under plan {plan_name:?} (seed {seed})",
+            report.epochs
+        );
+        let _ = writeln!(
+            out,
+            "  dropouts {}, recoveries {}, failed cap writes {}",
+            report.dropouts, report.recoveries, report.write_failures
+        );
+        let _ = writeln!(
+            out,
+            "  min nodes up {}, budget violations {}",
+            report.min_nodes_up, report.budget_violations
+        );
+        let _ = writeln!(
+            out,
+            "  aggregate perf: final {:.3}, mean {:.3}",
+            report.final_aggregate, report.mean_aggregate
+        );
+        let verdict = if report.survived() {
+            "SURVIVED: the enforced total never exceeded the global budget"
+        } else {
+            "DIED: an epoch enforced more power than the global budget"
+        };
+        let _ = writeln!(out, "verdict: {verdict}");
+    }
+    Ok(out)
+}
+
 /// `pbc hybrid --host <cpu-platform> --card <gpu-platform> --host-bench X --gpu-bench Y --gpu-share F -b WATTS`
+#[must_use = "the rendered hybrid split is the command's entire output"]
 pub fn cmd_hybrid(
     host_slug: &str,
     card_slug: &str,
@@ -369,6 +509,7 @@ pub fn cmd_hybrid(
 }
 
 /// `pbc corun -p <cpu-platform> -w <benchA,benchB> -b WATTS`
+#[must_use = "the rendered co-run split is the command's entire output"]
 pub fn cmd_corun(platform_slug: &str, pair: &str, budget: f64) -> Result<String> {
     let p = platform(platform_slug)?;
     let NodeSpec::Cpu { cpu, dram } = &p.spec else {
@@ -395,6 +536,7 @@ pub fn cmd_corun(platform_slug: &str, pair: &str, budget: f64) -> Result<String>
 
 /// `pbc report -p <platform> -w <bench> -b <watts>` — a markdown
 /// coordination report for one workload.
+#[must_use = "the rendered markdown report is the command's entire output"]
 pub fn cmd_report(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<String> {
     let p = platform(platform_slug)?;
     let b = benchmark(bench_slug)?;
@@ -502,6 +644,28 @@ mod tests {
     }
 
     #[test]
+    fn curve_rejects_poisoned_budget_lists() {
+        // Each malformed list is refused with a typed error naming the
+        // offending value, before any sweeping starts.
+        let cases: &[(&[f64], &str)] = &[
+            (&[], "at least one budget"),
+            (&[208.0, f64::NAN], "not a finite"),
+            (&[f64::INFINITY], "not a finite"),
+            (&[208.0, -5.0], "not positive"),
+            (&[0.0], "not positive"),
+            (&[176.0, 208.0, 176.0], "more than once"),
+        ];
+        for (budgets, needle) in cases {
+            match cmd_curve("ivybridge", "sra", budgets) {
+                Err(PbcError::InvalidInput(msg)) => {
+                    assert!(msg.contains(needle), "{budgets:?}: {msg:?} lacks {needle:?}");
+                }
+                other => panic!("{budgets:?} should be InvalidInput, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn scenarios_renders_all_six() {
         let out = cmd_scenarios("ivybridge", "sra", 240.0).unwrap();
         for s in ["VI", "IV", "II", "III", "V"] {
@@ -540,6 +704,26 @@ mod tests {
         assert!(out.contains("aggregate throughput"));
         assert!(cmd_corun("ivybridge", "dgemm", 240.0).is_err());
         assert!(cmd_corun("titan-xp", "dgemm,stream", 240.0).is_err());
+    }
+
+    #[test]
+    fn cluster_renders_the_three_way_comparison() {
+        let path = std::env::temp_dir().join(format!("pbc-cli-fleet-{}.txt", std::process::id()));
+        std::fs::write(&path, "2 ivybridge stream\nhaswell dgemm\n").unwrap();
+        let out = cmd_cluster(path.to_str().unwrap(), 800.0, "calm", 1, 0).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("3 nodes in 2 classes"), "{out}");
+        assert!(out.contains("aggregate perf COORD"), "{out}");
+        assert!(out.contains("aggregate perf uniform-split"), "{out}");
+        assert!(out.contains("aggregate perf oracle"), "{out}");
+    }
+
+    #[test]
+    fn cluster_rejects_a_missing_spec_file() {
+        assert!(matches!(
+            cmd_cluster("/no/such/fleet.txt", 800.0, "calm", 1, 0),
+            Err(PbcError::Io(_))
+        ));
     }
 
     #[test]

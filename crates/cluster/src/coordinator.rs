@@ -1,0 +1,703 @@
+//! The cluster coordinator: one global budget, N nodes, two layers of
+//! coordination.
+//!
+//! Layer one is the water-filling partition ([`crate::partition`]): the
+//! global budget becomes per-node shares ranked by marginal gain. Layer
+//! two is the paper's per-node COORD on each share, with the resulting
+//! allocation priced by the memo-backed power simulator — fanned out
+//! across nodes on the `pbc-par` pool, since every node's solve is
+//! independent.
+//!
+//! The dynamic mode ([`ClusterCoordinator::step`]) replays the
+//! `pbc-faults` determinism contract at cluster scale: node dropouts and
+//! cap-write failures are drawn from fresh `XorShift64Star` generators
+//! keyed on `(seed, tick, stream, node)`, never from shared state, so a
+//! chaos run is bit-identical under any `PBC_THREADS`. Enforcement is
+//! decreases-first: watts freed by lowered caps (and by dropped nodes)
+//! fund the raises, and a failed lowering keeps its watts reserved —
+//! the pot for raises only ever shrinks — so the total enforced cap
+//! never exceeds the global budget and `cluster.budget_violations`
+//! stays at zero by construction, not by luck.
+
+use crate::fleet::Fleet;
+use crate::partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};
+use pbc_faults::inject::write_key;
+use pbc_faults::{FaultClock, FaultWindow};
+use pbc_par::Pool;
+use pbc_powersim::SolveMemo;
+use pbc_trace::names;
+use pbc_types::rng::XorShift64Star;
+use pbc_types::{PbcError, PowerAllocation, Result, Watts};
+use std::sync::{Arc, Mutex};
+
+/// Weyl-ish odd constant spreading ticks across the seed space (the
+/// same one `pbc_faults::inject` uses, so cluster draws mix as well).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Stream constant for node-dropout decisions.
+const STREAM_NODE: u64 = 0x5EED_0011;
+/// Stream constant for cluster cap-write decisions.
+const STREAM_CAP: u64 = 0x5EED_0012;
+/// Watt slack below which a cap move is not worth a write.
+const EPS_W: f64 = 1e-6;
+
+/// Deterministic fault plan for a cluster run: node dropouts and
+/// cap-write failures, windowed in epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterFaultPlan {
+    /// Preset name (for reports).
+    pub name: &'static str,
+    /// Seed all draws derive from.
+    pub seed: u64,
+    /// Per-node, per-epoch probability of dropping out while the
+    /// dropout window is active.
+    pub dropout_prob: f64,
+    /// Epochs `[from, until)` during which dropouts can fire.
+    pub dropout_window: FaultWindow,
+    /// How many epochs a dropped node stays down before rejoining.
+    pub outage_epochs: usize,
+    /// Per-write probability of a cap write failing while the write
+    /// window is active.
+    pub write_fail_prob: f64,
+    /// Epochs `[from, until)` during which cap writes can fail.
+    pub write_window: FaultWindow,
+}
+
+/// The preset plan names [`ClusterFaultPlan::by_name`] accepts.
+pub const PLAN_NAMES: [&str; 4] = ["calm", "node-dropouts", "flaky-writes", "everything"];
+
+impl ClusterFaultPlan {
+    /// No faults at all — the control run.
+    #[must_use]
+    pub fn calm(seed: u64) -> Self {
+        Self {
+            name: "calm",
+            seed,
+            dropout_prob: 0.0,
+            dropout_window: FaultWindow::NEVER,
+            outage_epochs: 0,
+            write_fail_prob: 0.0,
+            write_window: FaultWindow::NEVER,
+        }
+    }
+
+    /// Nodes drop out mid-run and rejoin a few epochs later.
+    #[must_use]
+    pub fn node_dropouts(seed: u64) -> Self {
+        Self {
+            name: "node-dropouts",
+            seed,
+            dropout_prob: 0.08,
+            dropout_window: FaultWindow::new(2, 30),
+            outage_epochs: 4,
+            write_fail_prob: 0.0,
+            write_window: FaultWindow::NEVER,
+        }
+    }
+
+    /// Cap writes fail stochastically; the pot accounting must hold.
+    #[must_use]
+    pub fn flaky_writes(seed: u64) -> Self {
+        Self {
+            name: "flaky-writes",
+            seed,
+            dropout_prob: 0.0,
+            dropout_window: FaultWindow::NEVER,
+            outage_epochs: 0,
+            write_fail_prob: 0.2,
+            write_window: FaultWindow::new(1, 40),
+        }
+    }
+
+    /// Dropouts and flaky writes together.
+    #[must_use]
+    pub fn everything(seed: u64) -> Self {
+        Self {
+            name: "everything",
+            dropout_prob: 0.08,
+            dropout_window: FaultWindow::new(2, 30),
+            outage_epochs: 4,
+            write_fail_prob: 0.2,
+            write_window: FaultWindow::new(1, 40),
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Look a preset up by name.
+    #[must_use]
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "calm" => Some(Self::calm(seed)),
+            "node-dropouts" => Some(Self::node_dropouts(seed)),
+            "flaky-writes" => Some(Self::flaky_writes(seed)),
+            "everything" => Some(Self::everything(seed)),
+            _ => None,
+        }
+    }
+
+    /// Check the plan's internal consistency.
+    #[must_use = "an invalid plan must not be armed"]
+    pub fn validate(&self) -> Result<()> {
+        for (what, p) in [("dropout_prob", self.dropout_prob), ("write_fail_prob", self.write_fail_prob)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PbcError::InvalidInput(format!(
+                    "{what} must be a probability in [0, 1], got {p}"
+                )));
+            }
+        }
+        if self.dropout_prob > 0.0 && self.outage_epochs == 0 {
+            return Err(PbcError::InvalidInput(
+                "outage_epochs must be >= 1 when dropouts can fire".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One evaluated partition: the shares, what COORD made of them, and
+/// the simulator-priced performance.
+#[derive(Debug, Clone)]
+pub struct ClusterDecision {
+    /// Per-node budget shares (the caps to enforce).
+    pub shares: Vec<Watts>,
+    /// Per-node COORD allocations; `None` when the share was
+    /// unschedulable on that node.
+    pub allocs: Vec<Option<PowerAllocation>>,
+    /// Per-node simulated relative throughput (0.0 for unschedulable or
+    /// down nodes).
+    pub perfs: Vec<f64>,
+    /// Sum of `perfs` — the cluster's aggregate throughput.
+    pub aggregate_perf: f64,
+    /// How many nodes could not schedule their share.
+    pub infeasible: usize,
+}
+
+/// What one dynamic epoch did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// The completed tick this report covers.
+    pub tick: usize,
+    /// Nodes live at the end of the epoch.
+    pub nodes_up: usize,
+    /// Nodes that dropped out this epoch.
+    pub dropped: usize,
+    /// Nodes that rejoined this epoch.
+    pub recovered: usize,
+    /// Cap writes that failed this epoch.
+    pub write_failures: usize,
+    /// Aggregate relative throughput across live nodes.
+    pub aggregate_perf: f64,
+    /// Sum of enforced caps after the epoch (must stay ≤ global).
+    pub enforced_total: Watts,
+    /// Watts that changed hands between nodes this epoch.
+    pub moved: Watts,
+}
+
+/// Survival summary of a dynamic run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterReport {
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Total dropout events.
+    pub dropouts: usize,
+    /// Total recovery events.
+    pub recoveries: usize,
+    /// Total failed cap writes.
+    pub write_failures: usize,
+    /// Epochs whose enforced total exceeded the global budget. The
+    /// decreases-first discipline makes this zero by construction.
+    pub budget_violations: usize,
+    /// Smallest live-node count seen.
+    pub min_nodes_up: usize,
+    /// Aggregate throughput at the final epoch.
+    pub final_aggregate: f64,
+    /// Mean aggregate throughput across epochs.
+    pub mean_aggregate: f64,
+}
+
+impl ClusterReport {
+    /// Did the run stay inside the global budget throughout?
+    #[must_use]
+    pub fn survived(&self) -> bool {
+        self.budget_violations == 0
+    }
+}
+
+/// Hierarchical coordinator for a fleet under one global budget.
+#[derive(Debug)]
+pub struct ClusterCoordinator {
+    fleet: Fleet,
+    global: Watts,
+    grant: Watts,
+    plan: ClusterFaultPlan,
+    clock: FaultClock,
+    /// Cap currently enforced on each node (starts at zero: nothing has
+    /// been granted before the first epoch).
+    enforced: Vec<Watts>,
+    /// Target shares of the previous epoch, for redistribution stats.
+    prev_targets: Vec<Watts>,
+    /// `Some(t)` when the node is down until tick `t`.
+    down_until: Vec<Option<usize>>,
+}
+
+impl ClusterCoordinator {
+    /// Build a coordinator over `fleet` with `global` watts to divide.
+    /// Fails fast when the budget cannot cover every node's floor.
+    #[must_use = "the coordinator result carries either the coordinator or the infeasibility"]
+    pub fn new(fleet: Fleet, global: Watts) -> Result<Self> {
+        if !global.is_valid() || global.value() <= 0.0 {
+            return Err(PbcError::InvalidInput(format!(
+                "global budget must be a positive finite wattage, got {global:?}"
+            )));
+        }
+        let minimum = fleet.min_total_power();
+        if global < minimum {
+            return Err(PbcError::BudgetTooSmall { requested: global, minimum });
+        }
+        let n = fleet.len();
+        pbc_trace::gauge(names::CLUSTER_NODES).set(n as f64);
+        // Register the invariant counters so every trace exports them
+        // even at zero — absence must never read as cleanliness.
+        let _ = pbc_trace::counter(names::CLUSTER_BUDGET_VIOLATIONS);
+        let _ = pbc_trace::counter(names::CLUSTER_WRITE_FAILURES);
+        Ok(Self {
+            fleet,
+            global,
+            grant: DEFAULT_GRANT,
+            plan: ClusterFaultPlan::calm(0),
+            clock: FaultClock::new(),
+            enforced: vec![Watts::ZERO; n],
+            prev_targets: vec![Watts::ZERO; n],
+            down_until: vec![None; n],
+        })
+    }
+
+    /// Arm a fault plan for the dynamic mode.
+    #[must_use = "the armed coordinator is returned by value"]
+    pub fn with_plan(mut self, plan: ClusterFaultPlan) -> Result<Self> {
+        plan.validate()?;
+        self.plan = plan;
+        Ok(self)
+    }
+
+    /// The fleet being coordinated.
+    #[must_use]
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The global budget.
+    #[must_use]
+    pub fn global_budget(&self) -> Watts {
+        self.global
+    }
+
+    /// Water-fill the global budget and evaluate every node's share, on
+    /// the global pool.
+    #[must_use = "the decision result carries either the partition or the failure"]
+    pub fn coordinate(&self) -> Result<ClusterDecision> {
+        self.coordinate_with_pool(Pool::global())
+    }
+
+    /// [`ClusterCoordinator::coordinate`] on an explicit pool.
+    #[must_use = "the decision result carries either the partition or the failure"]
+    pub fn coordinate_with_pool(&self, pool: &Pool) -> Result<ClusterDecision> {
+        let curves = self.node_curves();
+        let shares = water_fill(&curves, self.global, self.grant)?;
+        evaluate(&self.fleet, &shares, &vec![false; self.fleet.len()], pool)
+    }
+
+    /// The baseline: split the global budget evenly, floors and curves
+    /// ignored, and evaluate the same way. On a heterogeneous fleet the
+    /// even share under-feeds hungry nodes and strands watts on
+    /// saturated ones — the gap the experiments measure.
+    #[must_use = "the decision result carries either the partition or the failure"]
+    pub fn uniform_decision(&self) -> Result<ClusterDecision> {
+        self.uniform_decision_with_pool(Pool::global())
+    }
+
+    /// [`ClusterCoordinator::uniform_decision`] on an explicit pool.
+    #[must_use = "the decision result carries either the partition or the failure"]
+    pub fn uniform_decision_with_pool(&self, pool: &Pool) -> Result<ClusterDecision> {
+        let shares = uniform_split(self.fleet.len(), self.global);
+        evaluate(&self.fleet, &shares, &vec![false; self.fleet.len()], pool)
+    }
+
+    /// The oracle aggregate at the water-filled shares: what the
+    /// interpolated sweep curves promise, with no COORD heuristic or
+    /// enforcement in the way. An upper reference line for `ext7`.
+    #[must_use = "the oracle result carries either the aggregate or the infeasibility"]
+    pub fn oracle_aggregate(&self) -> Result<f64> {
+        let curves = self.node_curves();
+        let shares = water_fill(&curves, self.global, self.grant)?;
+        Ok(shares
+            .iter()
+            .zip(curves.iter())
+            .map(|(s, c)| c.curve.perf_at(*s))
+            .sum())
+    }
+
+    /// One dynamic epoch on the global pool: advance the fault clock,
+    /// apply dropouts/recoveries, re-partition across live nodes,
+    /// re-coordinate, and enforce decreases-first under write faults.
+    #[must_use = "the epoch result carries either the report or the failure"]
+    pub fn step(&mut self) -> Result<EpochReport> {
+        self.step_with_pool(Pool::global())
+    }
+
+    /// [`ClusterCoordinator::step`] on an explicit pool.
+    #[must_use = "the epoch result carries either the report or the failure"]
+    pub fn step_with_pool(&mut self, pool: &Pool) -> Result<EpochReport> {
+        let tick = self.clock.advance();
+        let n = self.fleet.len();
+        let (dropped, recovered) = self.roll_membership(tick);
+        let down: Vec<bool> = self.down_until.iter().map(Option::is_some).collect();
+        let up = down.iter().filter(|d| !**d).count();
+
+        // Re-partition across the live nodes only; down nodes target 0.
+        let live: Vec<usize> = (0..n).filter(|i| !down[*i]).collect();
+        let curves = self.node_curves();
+        let live_curves: Vec<NodeCurve<'_>> = live.iter().map(|&i| curves[i]).collect();
+        let live_shares = water_fill(&live_curves, self.global, self.grant)?;
+        let mut targets = vec![Watts::ZERO; n];
+        for (k, &i) in live.iter().enumerate() {
+            targets[i] = live_shares[k];
+        }
+
+        let decision = evaluate(&self.fleet, &targets, &down, pool)?;
+        let write_failures = self.enforce(tick, &targets, &down);
+
+        // The budget invariant. Decreases-first makes a violation
+        // structurally impossible; the counter is the proof the trace
+        // carries out to the chaos assertions.
+        let enforced_total = self.enforced.iter().fold(Watts::ZERO, |a, w| a + *w);
+        if enforced_total.value() > self.global.value() + EPS_W {
+            pbc_trace::counter(names::CLUSTER_BUDGET_VIOLATIONS).incr();
+        }
+
+        let moved_raw: f64 = targets
+            .iter()
+            .zip(self.prev_targets.iter())
+            .map(|(now, was)| (*now - *was).abs().value())
+            .sum();
+        let moved = Watts::new(moved_raw / 2.0);
+        if moved.value() > EPS_W {
+            pbc_trace::counter(names::CLUSTER_REDISTRIBUTIONS).incr();
+        }
+        self.prev_targets = targets;
+
+        pbc_trace::counter(names::CLUSTER_EPOCHS).incr();
+        pbc_trace::gauge(names::CLUSTER_NODES_UP).set(up as f64);
+        pbc_trace::gauge(names::CLUSTER_MOVED_W).set(moved.value());
+        pbc_trace::gauge(names::CLUSTER_AGGREGATE_PERF).set(decision.aggregate_perf);
+
+        Ok(EpochReport {
+            tick,
+            nodes_up: up,
+            dropped,
+            recovered,
+            write_failures,
+            aggregate_perf: decision.aggregate_perf,
+            enforced_total,
+            moved,
+        })
+    }
+
+    /// Run `epochs` dynamic epochs and summarize.
+    #[must_use = "the run result carries either the survival report or the failure"]
+    pub fn run(&mut self, epochs: usize) -> Result<ClusterReport> {
+        self.run_with_pool(epochs, Pool::global())
+    }
+
+    /// [`ClusterCoordinator::run`] on an explicit pool.
+    #[must_use = "the run result carries either the survival report or the failure"]
+    pub fn run_with_pool(&mut self, epochs: usize, pool: &Pool) -> Result<ClusterReport> {
+        let mut report = ClusterReport {
+            min_nodes_up: self.fleet.len(),
+            ..ClusterReport::default()
+        };
+        let mut perf_sum = 0.0;
+        for _ in 0..epochs {
+            let e = self.step_with_pool(pool)?;
+            report.epochs += 1;
+            report.dropouts += e.dropped;
+            report.recoveries += e.recovered;
+            report.write_failures += e.write_failures;
+            if e.enforced_total.value() > self.global.value() + EPS_W {
+                report.budget_violations += 1;
+            }
+            report.min_nodes_up = report.min_nodes_up.min(e.nodes_up);
+            report.final_aggregate = e.aggregate_perf;
+            perf_sum += e.aggregate_perf;
+        }
+        if report.epochs > 0 {
+            report.mean_aggregate = perf_sum / report.epochs as f64;
+        }
+        Ok(report)
+    }
+
+    fn node_curves(&self) -> Vec<NodeCurve<'_>> {
+        self.fleet
+            .nodes
+            .iter()
+            .map(|&c| NodeCurve {
+                floor: self.fleet.classes[c].floor,
+                curve: &self.fleet.classes[c].curve,
+            })
+            .collect()
+    }
+
+    /// Dropout/recovery decisions for this tick. Each node draws from a
+    /// fresh generator keyed `(seed, tick, STREAM_NODE, node)` — the
+    /// inject.rs contract — so membership replays bit-identically.
+    fn roll_membership(&mut self, tick: usize) -> (usize, usize) {
+        let mut dropped = 0;
+        let mut recovered = 0;
+        for i in 0..self.down_until.len() {
+            if let Some(until) = self.down_until[i] {
+                if tick >= until {
+                    self.down_until[i] = None;
+                    recovered += 1;
+                    pbc_trace::counter(names::CLUSTER_RECOVERIES).incr();
+                }
+                continue;
+            }
+            if self.plan.dropout_prob > 0.0 && self.plan.dropout_window.active(tick) {
+                let stream = STREAM_NODE ^ (i as u64).wrapping_mul(GOLDEN);
+                let mut rng = XorShift64Star::new(
+                    self.plan.seed ^ (tick as u64).wrapping_mul(GOLDEN) ^ stream,
+                );
+                if rng.next_f64() < self.plan.dropout_prob {
+                    self.down_until[i] = Some(tick + self.plan.outage_epochs.max(1));
+                    dropped += 1;
+                    pbc_trace::counter(names::CLUSTER_DROPOUTS).incr();
+                }
+            }
+        }
+        (dropped, recovered)
+    }
+
+    /// Move enforced caps toward `targets`, decreases first. A down
+    /// node's cap releases unconditionally (its draw is gone whether or
+    /// not a write lands); a failed decrease keeps its watts reserved;
+    /// raises are funded strictly from the pot the decreases left, so
+    /// `Σ enforced ≤ global` is an invariant, not an aspiration.
+    fn enforce(&mut self, tick: usize, targets: &[Watts], down: &[bool]) -> usize {
+        let mut failures = 0;
+        for i in 0..targets.len() {
+            if down[i] {
+                self.enforced[i] = Watts::ZERO;
+                continue;
+            }
+            if targets[i] < self.enforced[i] {
+                if self.write_fails(tick, i, targets[i]) {
+                    failures += 1;
+                    pbc_trace::counter(names::CLUSTER_WRITE_FAILURES).incr();
+                } else {
+                    self.enforced[i] = targets[i];
+                }
+            }
+        }
+        let spent = self.enforced.iter().fold(Watts::ZERO, |a, w| a + *w);
+        let mut pot = (self.global - spent).max(Watts::ZERO);
+        for i in 0..targets.len() {
+            if down[i] || targets[i] <= self.enforced[i] {
+                continue;
+            }
+            let want = targets[i] - self.enforced[i];
+            let raise = want.min(pot);
+            if raise.value() <= EPS_W {
+                continue;
+            }
+            let next = self.enforced[i] + raise;
+            if self.write_fails(tick, i, next) {
+                failures += 1;
+                pbc_trace::counter(names::CLUSTER_WRITE_FAILURES).incr();
+            } else {
+                self.enforced[i] = next;
+                pot = pot - raise;
+            }
+        }
+        failures
+    }
+
+    fn write_fails(&self, tick: usize, node: usize, target: Watts) -> bool {
+        if self.plan.write_fail_prob <= 0.0 || !self.plan.write_window.active(tick) {
+            return false;
+        }
+        let key = write_key(&format!("cluster.node{node}"), target);
+        let stream = STREAM_CAP ^ key.wrapping_mul(GOLDEN);
+        let mut rng =
+            XorShift64Star::new(self.plan.seed ^ (tick as u64).wrapping_mul(GOLDEN) ^ stream);
+        rng.next_f64() < self.plan.write_fail_prob
+    }
+}
+
+/// Coordinate and price every node's share, fanned out on `pool`. Down
+/// nodes contribute nothing without touching the infeasibility counter;
+/// an infeasible share (COORD or the solver refusing it) scores 0.0;
+/// real solver errors fail the whole evaluation; worker panics re-raise
+/// on the caller.
+fn evaluate(fleet: &Fleet, shares: &[Watts], down: &[bool], pool: &Pool) -> Result<ClusterDecision> {
+    let n = shares.len();
+    type Slot = Mutex<Option<Result<(Option<PowerAllocation>, f64)>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+    let memos: Vec<Arc<SolveMemo>> = fleet
+        .classes
+        .iter()
+        .map(|c| SolveMemo::for_problem(&c.platform, &c.demand))
+        .collect();
+    let task = |i: usize| {
+        let out = if down[i] {
+            Ok((None, 0.0))
+        } else {
+            eval_node(fleet, &memos, i, shares[i])
+        };
+        if let Ok(mut slot) = slots[i].lock() {
+            *slot = Some(out);
+        }
+    };
+    let stats = pool.run(n, &task);
+    if let Some(payload) = stats.panic {
+        std::panic::resume_unwind(payload);
+    }
+    let mut allocs = Vec::with_capacity(n);
+    let mut perfs = Vec::with_capacity(n);
+    let mut infeasible = 0;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let taken = slot.into_inner().unwrap_or(None);
+        match taken {
+            Some(Ok((alloc, perf))) => {
+                if alloc.is_none() && !down[i] {
+                    infeasible += 1;
+                    pbc_trace::counter(names::CLUSTER_INFEASIBLE_NODES).incr();
+                }
+                allocs.push(alloc);
+                perfs.push(perf);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(PbcError::InvalidInput(format!(
+                    "cluster evaluation lost node {i} (worker never reported)"
+                )))
+            }
+        }
+    }
+    let aggregate_perf = perfs.iter().sum();
+    Ok(ClusterDecision { shares: shares.to_vec(), allocs, perfs, aggregate_perf, infeasible })
+}
+
+fn eval_node(
+    fleet: &Fleet,
+    memos: &[Arc<SolveMemo>],
+    node: usize,
+    share: Watts,
+) -> Result<(Option<PowerAllocation>, f64)> {
+    let class = fleet.class_of(node);
+    let coord = match class.coordinate(share) {
+        Ok(r) => r,
+        Err(e) if e.is_infeasible() => return Ok((None, 0.0)),
+        Err(e) => return Err(e),
+    };
+    match memos[fleet.nodes[node]].solve(coord.alloc) {
+        Ok(op) => Ok((Some(coord.alloc), op.perf_rel)),
+        Err(e) if e.is_infeasible() => Ok((None, 0.0)),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::parse_spec;
+
+    fn mixed_fleet() -> Fleet {
+        let spec = parse_spec(
+            "4 ivybridge stream\n\
+             4 haswell dgemm\n\
+             2 titan-xp sgemm\n",
+        )
+        .unwrap();
+        Fleet::build(&spec).unwrap()
+    }
+
+    #[test]
+    fn coordinated_beats_uniform_on_a_mixed_fleet() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(220.0);
+        let coord = ClusterCoordinator::new(fleet, global).unwrap();
+        let smart = coord.coordinate().unwrap();
+        let naive = coord.uniform_decision().unwrap();
+        let total: f64 = smart.shares.iter().map(|s| s.value()).sum();
+        assert!((total - global.value()).abs() < 1e-6, "shares must conserve the budget");
+        assert!(
+            smart.aggregate_perf > naive.aggregate_perf,
+            "water-filling {:.3} must beat uniform {:.3}",
+            smart.aggregate_perf,
+            naive.aggregate_perf
+        );
+    }
+
+    #[test]
+    fn budget_below_the_fleet_floor_is_refused() {
+        let fleet = mixed_fleet();
+        let too_small = fleet.min_total_power() - Watts::new(1.0);
+        assert!(ClusterCoordinator::new(fleet, too_small).is_err());
+    }
+
+    #[test]
+    fn calm_run_never_violates_and_keeps_every_node_up() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let n = fleet.len();
+        let mut coord = ClusterCoordinator::new(fleet, global).unwrap();
+        let report = coord.run(6).unwrap();
+        assert!(report.survived());
+        assert_eq!(report.min_nodes_up, n);
+        assert_eq!(report.dropouts, 0);
+        assert!(report.final_aggregate > 0.0);
+    }
+
+    #[test]
+    fn dropouts_fire_and_the_budget_invariant_holds() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let mut coord = ClusterCoordinator::new(fleet, global)
+            .unwrap()
+            .with_plan(ClusterFaultPlan::everything(7))
+            .unwrap();
+        let report = coord.run(40).unwrap();
+        assert!(report.dropouts > 0, "the everything plan at seed 7 should drop nodes");
+        assert!(report.recoveries > 0, "dropped nodes should rejoin");
+        assert_eq!(report.budget_violations, 0, "decreases-first must hold the cap");
+        assert!(report.survived());
+    }
+
+    #[test]
+    fn chaos_replays_are_bit_identical() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let mut coord = ClusterCoordinator::new(fleet.clone(), global)
+                .unwrap()
+                .with_plan(ClusterFaultPlan::everything(11))
+                .unwrap();
+            coord.run_with_pool(30, &pool).unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b, "the same plan must replay identically across thread counts");
+    }
+
+    #[test]
+    fn plan_presets_parse_and_validate() {
+        for name in PLAN_NAMES {
+            let plan = ClusterFaultPlan::by_name(name, 3).unwrap();
+            plan.validate().unwrap();
+            assert_eq!(plan.name, name);
+        }
+        assert!(ClusterFaultPlan::by_name("nope", 3).is_none());
+        let bad = ClusterFaultPlan { dropout_prob: 1.5, ..ClusterFaultPlan::calm(1) };
+        assert!(bad.validate().is_err());
+    }
+}

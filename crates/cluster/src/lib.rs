@@ -1,0 +1,42 @@
+//! # pbc-cluster
+//!
+//! Hierarchical cross-component power coordination for a fleet of
+//! simulated nodes under one global budget — the layer above the
+//! paper's single-node COORD.
+//!
+//! The paper (§2, §5) coordinates CPU/memory or SM/DRAM power *within*
+//! one node; its closing argument is that the same marginal-utility
+//! reasoning should span nodes. Medhat et al. show MPI cluster
+//! performance under a global cap hinges on moving watts *between*
+//! nodes, and FastCap shows the per-entity decision must stay cheap at
+//! scale. This crate supplies that layer on top of everything the
+//! workspace already has:
+//!
+//! * [`curve::PerfCurve`] — per-class `perf_max ~ P_b` curves from the
+//!   shared-grid sweep oracle, memo-backed and bit-deterministic;
+//! * [`partition::water_fill`] — the global budget partitioned by
+//!   marginal gain: watts drain from nodes past their flattening point
+//!   toward nodes still on the steep part of their curve;
+//! * [`fleet::Fleet`] — heterogeneous node specs (`COUNT PLATFORM
+//!   BENCH` text lines), deduplicated into profiled classes;
+//! * [`coordinator::ClusterCoordinator`] — water-fill, then per-node
+//!   COORD and memo-priced simulation fanned out on the `pbc-par`
+//!   pool; a dynamic mode replays node dropouts and cap-write failures
+//!   under the `pbc-faults` determinism contract, with decreases-first
+//!   enforcement keeping `Σ enforced ≤ global` invariant.
+//!
+//! Everything emits `cluster.*` trace counters/gauges (see
+//! `docs/OBSERVABILITY.md`); `cluster.budget_violations == 0` is the
+//! survival criterion chaos runs assert from real trace files.
+
+pub mod coordinator;
+pub mod curve;
+pub mod fleet;
+pub mod partition;
+
+pub use coordinator::{
+    ClusterCoordinator, ClusterDecision, ClusterFaultPlan, ClusterReport, EpochReport, PLAN_NAMES,
+};
+pub use curve::{node_ceiling, node_floor, PerfCurve, SAMPLE_STEP};
+pub use fleet::{parse_spec, ClassCoord, Fleet, NodeClass, SpecLine};
+pub use partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};

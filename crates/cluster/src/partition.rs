@@ -1,0 +1,181 @@
+//! Water-filling partition of a global budget across heterogeneous
+//! nodes.
+//!
+//! Every node starts at its class floor (below which it cannot run at
+//! all), then the remaining watts are granted one quantum at a time to
+//! whichever node's [`PerfCurve`] promises the largest marginal gain for
+//! that quantum. Nodes past their flattening point stop winning grants;
+//! nodes still on the steep part of their curve keep collecting — the
+//! cluster-level mirror of the paper's single-node insight that watts
+//! should sit wherever the marginal performance per watt is highest.
+//!
+//! The pass is pure sequential arithmetic over already-profiled curves
+//! (ties broken by lowest node index), so a partition is a deterministic
+//! function of `(curves, global, grant)` — independent of `PBC_THREADS`,
+//! which the property tests in `tests/partition_properties.rs` pin down.
+
+use crate::curve::PerfCurve;
+use pbc_types::{PbcError, Result, Watts};
+
+/// Default grant quantum for the water-filling pass.
+pub const DEFAULT_GRANT: Watts = Watts::new(4.0);
+
+/// Marginal gains below this are treated as "flat" — the node has
+/// saturated and stops competing for grants.
+const GAIN_EPS: f64 = 1e-12;
+
+/// Slack tolerated when checking the global budget against the summed
+/// floors, so a budget computed as `fleet.min_total_power()` passes.
+const BUDGET_EPS: f64 = 1e-6;
+
+/// One node as the partitioner sees it: a floor and a marginal-gain
+/// curve.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCurve<'a> {
+    /// Smallest share this node can run on.
+    pub floor: Watts,
+    /// The node's profiled `perf_max ~ P_b` curve.
+    pub curve: &'a PerfCurve,
+}
+
+/// Partition `global` watts across `nodes` by water-filling in `grant`
+/// quanta. Returns one share per node, in node order.
+///
+/// Guarantees (the property-test contract):
+/// - conservation: the shares sum to exactly `global` (± float dust);
+/// - feasibility: every share ≥ that node's floor;
+/// - determinism: a pure function of its arguments.
+///
+/// Fails with [`PbcError::BudgetTooSmall`] when `global` cannot cover
+/// every node's floor — there is no feasible partition at all.
+#[must_use = "the partition result carries either the shares or the infeasibility"]
+pub fn water_fill(nodes: &[NodeCurve<'_>], global: Watts, grant: Watts) -> Result<Vec<Watts>> {
+    if nodes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !global.is_valid() || global.value() <= 0.0 {
+        return Err(PbcError::InvalidInput(format!(
+            "global budget must be a positive finite wattage, got {global:?}"
+        )));
+    }
+    if !grant.is_valid() || grant.value() <= 0.0 {
+        return Err(PbcError::InvalidInput(format!(
+            "grant quantum must be a positive finite wattage, got {grant:?}"
+        )));
+    }
+    let minimum = nodes.iter().fold(Watts::ZERO, |acc, n| acc + n.floor);
+    if global.value() < minimum.value() - BUDGET_EPS {
+        return Err(PbcError::BudgetTooSmall {
+            requested: global,
+            minimum,
+        });
+    }
+    let mut shares: Vec<Watts> = nodes.iter().map(|n| n.floor).collect();
+    let mut remaining = global - minimum;
+    // Greedy water-fill: each quantum goes to the node whose curve rises
+    // most for it. Saturated nodes (flat curve ahead) never win.
+    while remaining.value() > BUDGET_EPS {
+        let q = grant.min(remaining);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, node) in nodes.iter().enumerate() {
+            let gain = node.curve.marginal_gain(shares[i], q);
+            let beats = match best {
+                None => gain > GAIN_EPS,
+                Some((_, g)) => gain > g + GAIN_EPS,
+            };
+            if beats {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                shares[i] = shares[i] + q;
+                remaining = remaining - q;
+            }
+            None => break, // every curve is flat — stop granting greedily
+        }
+    }
+    // Conservation: whatever is left once every node has flattened is
+    // spread evenly so Σ shares == global even when the fleet cannot
+    // productively absorb the whole budget.
+    if remaining.value() > 0.0 {
+        let even = remaining * (1.0 / nodes.len() as f64);
+        for share in &mut shares {
+            *share = *share + even;
+        }
+    }
+    Ok(shares)
+}
+
+/// The baseline partition: every node gets `global / n`, floors and
+/// curves ignored. On a heterogeneous fleet this under-feeds hungry
+/// nodes (whose COORD then rejects the share outright) and strands watts
+/// on saturated ones — the gap `ext7` and the CLI report measure.
+#[must_use]
+pub fn uniform_split(n: usize, global: Watts) -> Vec<Watts> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let share = global * (1.0 / n as f64);
+    vec![share; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_ramp(floor: f64, rise: f64, rungs: usize) -> PerfCurve {
+        // A synthetic curve: climbs by `rise` per 8 W rung, then flat.
+        let mut perf = Vec::new();
+        for k in 0..rungs {
+            perf.push(rise * k as f64);
+        }
+        perf.push(rise * (rungs.saturating_sub(1)) as f64);
+        PerfCurve {
+            floor: Watts::new(floor),
+            step: Watts::new(8.0),
+            perf,
+        }
+    }
+
+    #[test]
+    fn steep_nodes_win_the_surplus() {
+        let steep = flat_ramp(50.0, 2.0, 10);
+        let shallow = flat_ramp(50.0, 0.1, 2);
+        let nodes = [
+            NodeCurve { floor: steep.floor, curve: &steep },
+            NodeCurve { floor: shallow.floor, curve: &shallow },
+        ];
+        let shares = water_fill(&nodes, Watts::new(160.0), Watts::new(4.0)).unwrap();
+        assert!(shares[0] > shares[1], "the steep curve should collect the surplus");
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_error() {
+        let c = flat_ramp(100.0, 1.0, 4);
+        let nodes = [NodeCurve { floor: c.floor, curve: &c }; 3];
+        let err = water_fill(&nodes, Watts::new(200.0), Watts::new(4.0)).unwrap_err();
+        assert!(err.is_infeasible(), "expected BudgetTooSmall, got {err}");
+    }
+
+    #[test]
+    fn saturated_fleet_still_conserves_the_budget() {
+        let c = flat_ramp(50.0, 1.0, 3); // ceiling at 50 + 3*8 = 74 W
+        let nodes = [NodeCurve { floor: c.floor, curve: &c }; 2];
+        let shares = water_fill(&nodes, Watts::new(400.0), Watts::new(4.0)).unwrap();
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 400.0).abs() < 1e-9, "surplus past saturation must still be assigned");
+    }
+
+    #[test]
+    fn uniform_split_divides_evenly() {
+        let shares = uniform_split(4, Watts::new(100.0));
+        assert_eq!(shares.len(), 4);
+        for s in shares {
+            assert!((s.value() - 25.0).abs() < 1e-12);
+        }
+        assert!(uniform_split(0, Watts::new(100.0)).is_empty());
+    }
+}

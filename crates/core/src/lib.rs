@@ -57,7 +57,7 @@ pub use critical::CriticalPowers;
 pub use efficiency::{efficiency_curve, most_efficient_budget, AcceptableRange, BudgetVerdict, EfficiencyPoint};
 pub use hybrid::{coordinate_hybrid, solve_hybrid_split, HybridPoint, HybridWorkload};
 pub use model::PiecewiseModel;
-pub use online::{ObservationOutcome, OnlineConfig, OnlineCoordinator};
+pub use online::{BudgetOutcome, ObservationOutcome, OnlineConfig, OnlineCoordinator};
 pub use problem::PowerBoundedProblem;
 pub use profile::{SweepPoint, SweepProfile};
 pub use profile_io::{from_csv as profile_from_csv, load as load_profile, save as save_profile, to_csv as profile_to_csv};

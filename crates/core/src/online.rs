@@ -45,6 +45,11 @@ pub struct OnlineConfig {
     /// Fractional overdraw (`total > budget * (1 + tolerance)`) that
     /// counts as a budget violation for the watchdog.
     pub overdraw_tolerance: f64,
+    /// Smallest budget [`OnlineCoordinator::set_budget`] will accept.
+    /// Callers that know the platform should set this to
+    /// `platform.min_node_power()`; the default of zero only screens out
+    /// non-positive budgets.
+    pub min_budget: Watts,
 }
 
 impl Default for OnlineConfig {
@@ -61,8 +66,27 @@ impl Default for OnlineConfig {
             max_credible_perf: 8.0,
             watchdog_patience: 3,
             overdraw_tolerance: 0.05,
+            min_budget: Watts::ZERO,
         }
     }
+}
+
+/// What [`OnlineCoordinator::set_budget`] did with a requested budget
+/// change. Rejections are counted under `online.rejected_budgets` and
+/// leave the search state untouched — the satellite bug was that a NaN
+/// or negative budget silently vanished (and a below-minimum one
+/// poisoned the split the search re-converges from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a rejected budget change means the coordinator is still on the old budget"]
+pub enum BudgetOutcome {
+    /// The budget changed; the search re-opened from the rescaled split.
+    Applied,
+    /// The requested budget equals the current one; nothing to do.
+    Unchanged,
+    /// Rejected: NaN or infinite.
+    RejectedNonFinite,
+    /// Rejected: zero, negative, or below [`OnlineConfig::min_budget`].
+    RejectedBelowMinimum,
 }
 
 /// What [`OnlineCoordinator::observe`] did with one reported operating
@@ -188,14 +212,21 @@ impl OnlineCoordinator {
     /// re-negotiated while jobs run). The learned proc/mem *ratio* is
     /// kept, rescaled to the new total, and the search re-opens from
     /// there: performance must be re-measured because the capping
-    /// scenario may have changed category entirely. Invalid budgets are
-    /// ignored.
-    pub fn set_budget(&mut self, new: Watts) {
-        if !new.is_valid() || new.value() <= 0.0 {
-            return;
+    /// scenario may have changed category entirely. Invalid budgets —
+    /// non-finite, non-positive, or below [`OnlineConfig::min_budget`] —
+    /// are rejected with a [`BudgetOutcome`] and counted under
+    /// `online.rejected_budgets`, leaving the search state untouched.
+    pub fn set_budget(&mut self, new: Watts) -> BudgetOutcome {
+        if !new.value().is_finite() {
+            pbc_trace::counter(names::ONLINE_REJECTED_BUDGETS).incr();
+            return BudgetOutcome::RejectedNonFinite;
+        }
+        if new.value() <= 0.0 || new < self.config.min_budget {
+            pbc_trace::counter(names::ONLINE_REJECTED_BUDGETS).incr();
+            return BudgetOutcome::RejectedBelowMinimum;
         }
         if (new - self.budget).abs().value() < 1e-9 {
-            return;
+            return BudgetOutcome::Unchanged;
         }
         let fraction = self.best.proc_fraction();
         self.budget = new;
@@ -206,6 +237,7 @@ impl OnlineCoordinator {
         self.step = self.config.step;
         self.overdraw_streak = 0;
         pbc_trace::counter(names::ONLINE_BUDGET_RESETS).incr();
+        BudgetOutcome::Applied
     }
 
     /// The watchdog's escape hatch: abandon the learned split, return to
@@ -598,7 +630,7 @@ mod tests {
         assert!(coord.converged());
         let settled_fraction = coord.best().proc_fraction();
         let cut = Watts::new(160.0);
-        coord.set_budget(cut);
+        assert_eq!(coord.set_budget(cut), BudgetOutcome::Applied);
         assert!(!coord.converged(), "budget change must re-open the search");
         assert_eq!(coord.budget(), cut);
         // Rescaled, ratio preserved, within the new budget immediately.
@@ -615,13 +647,50 @@ mod tests {
             coord.observe(&op);
         }
         assert!(coord.converged());
-        // No-ops: same budget, invalid budget.
+        // No-ops: same budget, invalid budget. Each reports why.
         let best = coord.best();
-        coord.set_budget(cut);
-        coord.set_budget(Watts::new(-5.0));
-        coord.set_budget(Watts::new(f64::NAN));
+        assert_eq!(coord.set_budget(cut), BudgetOutcome::Unchanged);
+        assert_eq!(coord.set_budget(Watts::new(-5.0)), BudgetOutcome::RejectedBelowMinimum);
+        assert_eq!(coord.set_budget(Watts::new(f64::NAN)), BudgetOutcome::RejectedNonFinite);
         assert_eq!(coord.best(), best);
         assert!(coord.converged());
+    }
+
+    /// The satellite bug: a poisoned budget used to silently vanish —
+    /// or worse, a below-`min_node_power` value rescaled `best` to a
+    /// split no allocation can satisfy, wedging the re-opened search.
+    /// Every bad budget is now rejected with a reason and the search
+    /// state is untouched.
+    #[test]
+    fn poisoned_budgets_are_rejected_with_reasons() {
+        let platform = ivybridge();
+        let budget = Watts::new(208.0);
+        let config = OnlineConfig {
+            min_budget: platform.min_node_power(),
+            ..OnlineConfig::default()
+        };
+        let mut coord =
+            OnlineCoordinator::new(budget, PowerAllocation::split(budget, 0.5), config);
+        let before_best = coord.best();
+        let before_budget = coord.budget();
+        assert_eq!(coord.set_budget(Watts::new(f64::NAN)), BudgetOutcome::RejectedNonFinite);
+        assert_eq!(
+            coord.set_budget(Watts::new(f64::INFINITY)),
+            BudgetOutcome::RejectedNonFinite
+        );
+        assert_eq!(coord.set_budget(Watts::new(-1.0)), BudgetOutcome::RejectedBelowMinimum);
+        assert_eq!(coord.set_budget(Watts::ZERO), BudgetOutcome::RejectedBelowMinimum);
+        // Positive but below the platform floor: also rejected.
+        let floor = platform.min_node_power();
+        assert_eq!(
+            coord.set_budget(floor - Watts::new(1.0)),
+            BudgetOutcome::RejectedBelowMinimum
+        );
+        assert_eq!(coord.best(), before_best, "rejections must not touch the split");
+        assert_eq!(coord.budget(), before_budget);
+        // A budget at the floor is legitimate.
+        assert_eq!(coord.set_budget(floor), BudgetOutcome::Applied);
+        assert_eq!(coord.budget(), floor);
     }
 
     #[test]

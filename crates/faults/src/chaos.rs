@@ -24,7 +24,7 @@
 
 use crate::inject::{write_key, FaultInjector, InjectionTally, WriteFault};
 use crate::plan::FaultPlan;
-use pbc_core::{ObservationOutcome, OnlineConfig, OnlineCoordinator};
+use pbc_core::{BudgetOutcome, ObservationOutcome, OnlineConfig, OnlineCoordinator};
 use pbc_platform::{NodeSpec, Platform};
 use pbc_powersim::solve;
 use pbc_rapl::{current_allocation, enforce_with, mock, RaplDomain, RaplSysfs, RetryPolicy};
@@ -230,7 +230,14 @@ pub fn run_chaos(
     // node that was running under its budget before the storm begins.
     enforce_with(&rapl, initial, &policy, &mut |d, w| d.set_power_limit(w)).into_result()?;
 
-    let mut coordinator = OnlineCoordinator::new(budget, initial, OnlineConfig::default());
+    // The coordinator knows the platform floor, so a fault plan that
+    // steps the budget below it gets a refusal instead of a poisoned
+    // search (the shipped plans never go that low, but custom ones can).
+    let config = OnlineConfig {
+        min_budget: platform.min_node_power(),
+        ..OnlineConfig::default()
+    };
+    let mut coordinator = OnlineCoordinator::new(budget, initial, config);
     let mut injector = FaultInjector::new(plan.clone());
     let mut current_budget = budget;
 
@@ -265,8 +272,16 @@ pub fn run_chaos(
         // *during* this epoch.
         for step in &plan.budget_steps {
             if step.at == tick {
-                current_budget = budget * step.factor;
-                coordinator.set_budget(current_budget);
+                let next = budget * step.factor;
+                match coordinator.set_budget(next) {
+                    BudgetOutcome::Applied | BudgetOutcome::Unchanged => {
+                        // Only a budget the coordinator actually took
+                        // becomes the one violations are judged against.
+                        current_budget = next;
+                    }
+                    BudgetOutcome::RejectedNonFinite
+                    | BudgetOutcome::RejectedBelowMinimum => {}
+                }
                 report.budget_steps += 1;
                 pbc_trace::counter(names::FAULTS_INJECTED).incr();
                 pbc_trace::counter(names::FAULTS_BUDGET_STEPS).incr();

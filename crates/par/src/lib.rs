@@ -48,6 +48,13 @@ use std::thread::JoinHandle;
 /// variable when set to a positive integer, otherwise the machine's
 /// available parallelism, floored at 1. Every thread-sizing decision in
 /// the workspace goes through this so one knob controls them all.
+///
+/// `PBC_THREADS=0` clamps to 1 (serial) with a one-time warning on
+/// stderr. It used to fall back to the machine's full parallelism —
+/// the opposite of what a `0` plausibly meant to whoever exported it
+/// ("as little as possible"), and a silent way for a misconfigured
+/// deployment to oversubscribe a host it was told to go easy on.
+/// Unparseable values still fall back to available parallelism.
 pub fn configured_threads() -> usize {
     let fallback = || {
         std::thread::available_parallelism()
@@ -56,10 +63,26 @@ pub fn configured_threads() -> usize {
     };
     match std::env::var("PBC_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => fallback(),
+            Ok(0) => {
+                warn_zero_threads_once();
+                1
+            }
+            Ok(n) => n,
+            Err(_) => fallback(),
         },
         Err(_) => fallback(),
+    }
+}
+
+/// One warning per process, not one per pool construction.
+fn warn_zero_threads_once() {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr(),
+            "pbc-par: PBC_THREADS=0 is not a valid executor count; clamping to 1 (serial)"
+        );
     }
 }
 
@@ -572,8 +595,12 @@ mod tests {
         assert_eq!(configured_threads(), 3);
         std::env::set_var("PBC_THREADS", "not-a-number");
         assert!(configured_threads() >= 1);
+        // Zero clamps to serial — it must NOT fall back to the machine's
+        // full parallelism like an unset or unparseable value does.
         std::env::set_var("PBC_THREADS", "0");
-        assert!(configured_threads() >= 1);
+        assert_eq!(configured_threads(), 1);
+        std::env::set_var("PBC_THREADS", " 0 ");
+        assert_eq!(configured_threads(), 1, "whitespace-padded zero also clamps");
         std::env::remove_var("PBC_THREADS");
         assert!(configured_threads() >= 1);
     }

@@ -80,19 +80,60 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Most shared memos the registry keeps. One sweep touches a handful of
+/// `(hardware, demand)` pairs; a long-running cluster loop cycling
+/// through workload phases used to accrete one memo per pair it ever
+/// saw, forever. 64 covers every preset × benchmark combination the
+/// workspace ships with headroom, while bounding the worst case.
+pub const MAX_SHARED_MEMOS: usize = 64;
+
 /// Process-wide memo registry, keyed by an exact fingerprint of the
 /// problem (the debug rendering of the full spec and demand — verbose,
-/// but collision-free). Entries live for the process; the solver state
-/// they cache is immutable, and `clear_shared` exists for cold-cache
-/// benchmarking.
-fn registry() -> &'static Mutex<HashMap<String, Arc<SolveMemo>>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<SolveMemo>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+/// but collision-free). Bounded at [`MAX_SHARED_MEMOS`]: when a new
+/// fingerprint would overflow it, the least-recently-used entry is
+/// evicted (counted under `solve.cache_evictions`). Live `Arc` handles
+/// keep an evicted memo's caches alive for their holders — eviction
+/// only drops the registry's route to it. `clear_shared` exists for
+/// cold-cache benchmarking.
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+#[derive(Default)]
+struct Registry {
+    /// fingerprint → (memo, last-use stamp).
+    memos: HashMap<String, (Arc<SolveMemo>, u64)>,
+    /// Monotone use counter driving the LRU stamps.
+    clock: u64,
 }
 
 fn shared(fingerprint: String, build: impl FnOnce() -> SolveMemo) -> Arc<SolveMemo> {
     let mut reg = lock(registry());
-    Arc::clone(reg.entry(fingerprint).or_insert_with(|| Arc::new(build())))
+    reg.clock += 1;
+    let now = reg.clock;
+    if let Some((memo, stamp)) = reg.memos.get_mut(&fingerprint) {
+        *stamp = now;
+        return Arc::clone(memo);
+    }
+    while reg.memos.len() >= MAX_SHARED_MEMOS {
+        // Evict the least-recently-used fingerprint to stay bounded.
+        let oldest = reg
+            .memos
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone());
+        match oldest {
+            Some(k) => {
+                reg.memos.remove(&k);
+                pbc_trace::counter(pbc_trace::names::SOLVE_CACHE_EVICTIONS).incr();
+            }
+            None => break,
+        }
+    }
+    let memo = Arc::new(build());
+    reg.memos.insert(fingerprint, (Arc::clone(&memo), now));
+    memo
 }
 
 impl SolveMemo {
@@ -143,7 +184,12 @@ impl SolveMemo {
     /// Drop every shared memo. Benches call this between iterations so
     /// timings measure a cold cache instead of earlier iterations' work.
     pub fn clear_shared() {
-        lock(registry()).clear();
+        lock(registry()).memos.clear();
+    }
+
+    /// Shared memos currently registered (≤ [`MAX_SHARED_MEMOS`]).
+    pub fn shared_len() -> usize {
+        lock(registry()).memos.len()
     }
 
     /// Cached entries in this memo.
@@ -389,6 +435,7 @@ mod tests {
 
     #[test]
     fn shared_registry_returns_the_same_memo() {
+        let _guard = lock(registry_test_mutex());
         let platform = ivybridge();
         let stream = WorkloadDemand::single("stream-like", PhaseDemand::stream_bound());
         let a = SolveMemo::for_problem(&platform, &stream);
@@ -397,5 +444,84 @@ mod tests {
         let sra = WorkloadDemand::single("sra-like", PhaseDemand::random_bound());
         let other = SolveMemo::for_problem(&platform, &sra);
         assert!(!Arc::ptr_eq(&a, &other));
+    }
+
+    /// Tests below churn the process-wide registry; serialize them
+    /// against the identity test above so a mid-assert eviction can't
+    /// invalidate its `Arc::ptr_eq` expectations.
+    fn registry_test_mutex() -> &'static Mutex<()> {
+        static M: OnceLock<Mutex<()>> = OnceLock::new();
+        M.get_or_init(|| Mutex::new(()))
+    }
+
+    fn demand_variant(i: usize) -> WorkloadDemand {
+        let mut d = PhaseDemand::compute_bound();
+        // Perturb a field so every variant fingerprints distinctly.
+        d.arithmetic_intensity += i as f64 * 0.001;
+        WorkloadDemand::single(format!("variant-{i}"), d)
+    }
+
+    #[test]
+    fn registry_is_bounded_and_evicts_least_recently_used() {
+        let _guard = lock(registry_test_mutex());
+        SolveMemo::clear_shared();
+        let platform = ivybridge();
+        let keeper_demand = demand_variant(0);
+        let keeper = SolveMemo::for_problem(&platform, &keeper_demand);
+        // Overflow the bound; re-touch the keeper along the way so LRU
+        // keeps it while the stale middle entries rotate out.
+        for i in 1..=(MAX_SHARED_MEMOS + 8) {
+            let _ = SolveMemo::for_problem(&platform, &demand_variant(i));
+            if i % 16 == 0 {
+                let again = SolveMemo::for_problem(&platform, &keeper_demand);
+                assert!(
+                    Arc::ptr_eq(&keeper, &again),
+                    "a recently used memo must survive eviction"
+                );
+            }
+        }
+        assert!(
+            SolveMemo::shared_len() <= MAX_SHARED_MEMOS,
+            "registry grew to {} entries past the bound",
+            SolveMemo::shared_len()
+        );
+        // The keeper was used most recently at i = 64 < 72, but far more
+        // recently than variant-1, which must be gone: re-registering it
+        // builds a new memo.
+        let revived = SolveMemo::for_problem(&platform, &demand_variant(1));
+        let again = SolveMemo::for_problem(&platform, &demand_variant(1));
+        assert!(Arc::ptr_eq(&revived, &again));
+        SolveMemo::clear_shared();
+    }
+
+    #[test]
+    fn eviction_is_counted_and_survivors_keep_their_caches() {
+        let _guard = lock(registry_test_mutex());
+        SolveMemo::clear_shared();
+        pbc_trace::reset();
+        pbc_trace::enable();
+        let platform = ivybridge();
+        let held_demand = demand_variant(9000);
+        let held = SolveMemo::for_problem(&platform, &held_demand);
+        let alloc = PowerAllocation::new(Watts::new(120.0), Watts::new(80.0));
+        let before = held.solve(alloc).unwrap();
+        for i in 0..(MAX_SHARED_MEMOS * 2) {
+            let _ = SolveMemo::for_problem(&platform, &demand_variant(9001 + i));
+        }
+        let snapshot = pbc_trace::snapshot();
+        let evictions = snapshot
+            .counters
+            .get(pbc_trace::names::SOLVE_CACHE_EVICTIONS)
+            .copied()
+            .unwrap_or(0);
+        assert!(evictions > 0, "overflowing the registry must count evictions");
+        // The held Arc outlives its registry slot: its cache still
+        // answers, bit-identically.
+        assert!(held.len() >= 1);
+        let after = held.solve(alloc).unwrap();
+        assert_eq!(op_bits(&before), op_bits(&after));
+        pbc_trace::disable();
+        pbc_trace::reset();
+        SolveMemo::clear_shared();
     }
 }

@@ -55,6 +55,9 @@ pub const SOLVE_ERRORS: &str = "solve.errors";
 pub const SOLVE_CACHE_HITS: &str = "solve.cache_hits";
 /// Memoized solves that missed the cache and ran the real solver.
 pub const SOLVE_CACHE_MISSES: &str = "solve.cache_misses";
+/// Shared memos evicted from the process-wide registry when it hits its
+/// capacity bound (oldest-use first).
+pub const SOLVE_CACHE_EVICTIONS: &str = "solve.cache_evictions";
 
 // --- static coordinator (crates/core/src/coord.rs) --------------------
 
@@ -151,3 +154,34 @@ pub const ONLINE_REJECTED_OBSERVATIONS: &str = "online.rejected_observations";
 pub const ONLINE_FALLBACKS: &str = "online.fallbacks";
 /// Budget changes that re-opened a settled (or in-flight) search.
 pub const ONLINE_BUDGET_RESETS: &str = "online.budget_resets";
+/// Budget changes rejected by validation (non-finite, non-positive, or
+/// below the configured minimum) before they could poison the search.
+pub const ONLINE_REJECTED_BUDGETS: &str = "online.rejected_budgets";
+
+// --- cluster coordinator (crates/cluster) ------------------------------
+
+/// Dynamic epochs executed by a `ClusterCoordinator`.
+pub const CLUSTER_EPOCHS: &str = "cluster.epochs";
+/// Epochs whose water-filling pass moved watts between nodes.
+pub const CLUSTER_REDISTRIBUTIONS: &str = "cluster.redistributions";
+/// Node dropout events injected by the cluster fault plan.
+pub const CLUSTER_DROPOUTS: &str = "cluster.dropouts";
+/// Dropped nodes that rejoined the fleet.
+pub const CLUSTER_RECOVERIES: &str = "cluster.recoveries";
+/// Cluster cap writes that failed under the fault plan.
+pub const CLUSTER_WRITE_FAILURES: &str = "cluster.write_failures";
+/// Nodes whose share could not be scheduled (COORD or the solver
+/// refused it); they idle at zero performance for the epoch.
+pub const CLUSTER_INFEASIBLE_NODES: &str = "cluster.infeasible_nodes";
+/// Epochs that ended with the summed enforced caps above the global
+/// budget. **Must read zero on every run** — decreases-first
+/// enforcement makes a violation structurally impossible.
+pub const CLUSTER_BUDGET_VIOLATIONS: &str = "cluster.budget_violations";
+/// Fleet size the coordinator was built with.
+pub const CLUSTER_NODES: &str = "cluster.nodes";
+/// Live nodes at the end of the last epoch.
+pub const CLUSTER_NODES_UP: &str = "cluster.nodes_up";
+/// Watts that changed hands between nodes in the last epoch.
+pub const CLUSTER_MOVED_W: &str = "cluster.moved_w";
+/// Aggregate relative throughput across live nodes, last epoch.
+pub const CLUSTER_AGGREGATE_PERF: &str = "cluster.aggregate_perf";

@@ -42,6 +42,9 @@ echo "==> chaos smoke (fault-plan survival + counter laws, via a real trace file
 cargo test -q -p pbc-cli --test chaos_smoke
 cargo test -q --test chaos_properties
 
+echo "==> cluster smoke (fleet coordination beats uniform split; dropout chaos, via a real trace file)"
+cargo test -q -p pbc-cli --test cluster_smoke
+
 echo "==> sweep bench (timed; appends machine-readable records to BENCH_sweep.json)"
 rm -f BENCH_sweep.json
 PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench sweep
