@@ -141,6 +141,10 @@ impl AllocationPolicy for GpuPolicy<'_> {
                 // or application — §6.3: "it always runs memory at the
                 // nominal (the highest stable) speed".
                 let mem = self.gpu.mem.max_power();
+                // Deliberately unfloored: this models the vendor default,
+                // which does not coordinate — starving the SMs under a
+                // tight budget is exactly the behavior being measured.
+                // pbc-lint: allow(unchecked-budget-arith)
                 Ok(PowerAllocation::new(budget - mem, mem))
             }
             Baseline::EvenSplit => Ok(PowerAllocation::split(budget, 0.5)),

@@ -16,6 +16,7 @@ use pbc_types::{PowerAllocation, Result, Watts};
 use pbc_workloads::cpu_suite;
 
 /// Run the extension-1 evaluation.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ext1",

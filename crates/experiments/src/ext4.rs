@@ -19,6 +19,7 @@ const PAIRS: [(&str, &str); 4] = [
 ];
 
 /// Run the extension-4 evaluation.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ext4",
@@ -45,6 +46,9 @@ pub fn run() -> Result<ExperimentOutput> {
     for (a, b) in PAIRS {
         let da = by_name(a).unwrap().demand;
         let db = by_name(b).unwrap().demand;
+        // The table's fixed node budget (Table 4) sits well above the
+        // memory cap; a negative remainder would fail solve_corun loudly.
+        // pbc-lint: allow(unchecked-budget-arith)
         let proc_budget = node_budget - mem_cap;
         let naive = solve_corun(
             cpu,

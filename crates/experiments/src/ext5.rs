@@ -18,6 +18,7 @@ use pbc_types::{Result, Watts};
 use pbc_workloads::by_name;
 
 /// Run the extension-5 evaluation.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ext5",

@@ -38,6 +38,7 @@ pub(crate) fn one_budget_profile(
 }
 
 /// Run the Fig. 1 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig1",

@@ -55,6 +55,7 @@ fn one_curve(
 }
 
 /// Run the Fig. 2 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig2",

@@ -15,6 +15,7 @@ use pbc_types::{Result, Watts};
 use pbc_workloads::by_name;
 
 /// Run the Fig. 3 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig3",

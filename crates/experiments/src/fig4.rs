@@ -17,6 +17,7 @@ use pbc_workloads::by_name;
 const BUDGETS: [f64; 4] = [176.0, 208.0, 240.0, 272.0];
 
 /// Run the Fig. 4 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig4",

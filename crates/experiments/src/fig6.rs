@@ -72,6 +72,7 @@ fn one_card(platform: Platform, bench: &Benchmark, out: &mut ExperimentOutput) -
 }
 
 /// Run the Fig. 6 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig6",

@@ -80,6 +80,7 @@ fn one_bench(platform: &Platform, bench: &Benchmark, out: &mut ExperimentOutput)
 }
 
 /// Run the Fig. 7 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig7",

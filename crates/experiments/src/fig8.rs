@@ -65,6 +65,7 @@ fn profile_one(
 }
 
 /// Run the Fig. 8 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig8",

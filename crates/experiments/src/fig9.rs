@@ -23,6 +23,7 @@ const CPU_BUDGETS: [f64; 6] = [150.0, 170.0, 190.0, 210.0, 230.0, 250.0];
 const GPU_CAPS: [f64; 6] = [140.0, 170.0, 200.0, 230.0, 260.0, 290.0];
 
 /// Run the Fig. 9 reproduction.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig9",

@@ -59,6 +59,7 @@ pub const EXPERIMENTS: [&str; 19] = [
 ];
 
 /// Run one experiment by name.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn run(name: &str) -> Result<ExperimentOutput> {
     match name {
         "fig1" => fig1::run(),

@@ -13,6 +13,7 @@ use pbc_workloads::{all_benchmarks, by_name, Target};
 
 /// Regenerate Table 1: optimal allocation intersection and critical
 /// component for descending budget regimes.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn table1_experiment() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "table1",
@@ -50,6 +51,7 @@ pub fn table1_experiment() -> Result<ExperimentOutput> {
 }
 
 /// Regenerate Table 2: the platform inventory.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn table2_experiment() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new("table2", "CPU and GPU platforms used in experiments");
     let mut t = TextTable::new(
@@ -81,6 +83,7 @@ pub fn table2_experiment() -> Result<ExperimentOutput> {
 }
 
 /// Regenerate Table 3: the benchmark inventory.
+#[must_use = "the experiment outcome carries I/O and solver failures"]
 pub fn table3_experiment() -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new("table3", "Benchmarks used in this study");
     let mut t = TextTable::new(

@@ -397,13 +397,13 @@ fn clamp_decrease_only(
     // shape, chosen for safety rather than performance.
     let per_pkg = budget * 0.5 / packages.len() as f64;
     let per_dram = budget * 0.5 / drams.len() as f64;
-    for (list, share) in [(&packages, per_pkg), (&drams, per_dram)] {
+    for (list, class_cap) in [(&packages, per_pkg), (&drams, per_dram)] {
         for d in list.iter() {
             let Ok(current) = d.power_limit() else { continue };
-            if current.value() <= share.value() + EPS_W {
-                continue; // already at or below its share: never raise it.
+            if current.value() <= class_cap.value() + EPS_W {
+                continue; // already at or below its class cap: never raise it.
             }
-            let key = write_key(&d.name, share) ^ CLAMP_SALT.wrapping_add(round);
+            let key = write_key(&d.name, class_cap) ^ CLAMP_SALT.wrapping_add(round);
             let fault = injector.write_fault(tick, key);
             let attempts = policy.max_attempts.max(1);
             for attempt in 1..=attempts {
@@ -412,7 +412,7 @@ fn clamp_decrease_only(
                     WriteFault::Transient { failing_attempts } if attempt <= failing_attempts => {
                         false
                     }
-                    _ => d.set_power_limit(share).is_ok(),
+                    _ => d.set_power_limit(class_cap).is_ok(),
                 };
                 if ok {
                     break;

@@ -149,9 +149,43 @@ impl Baseline {
     /// allowlist. This is what `--write-baseline` writes.
     #[must_use]
     pub fn regenerate(&self, diags: &[Diagnostic]) -> String {
-        let mut by_rule: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
         for d in diags {
-            *by_rule.entry(d.rule).or_default().entry(&d.file).or_default() += 1;
+            *counts.entry((d.rule.to_string(), d.file.clone())).or_default() += 1;
+        }
+        Baseline { counts, allow: self.allow.clone() }.render()
+    }
+
+    /// A copy with every entry clamped down to the findings actually
+    /// present (dropping entries that hit zero). Unlike
+    /// [`Self::regenerate`], this never *adds* budget: new findings stay
+    /// new. This is what `--prune-baseline` writes.
+    #[must_use]
+    pub fn pruned(&self, diags: &[Diagnostic]) -> Baseline {
+        let mut by_bucket: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for d in diags {
+            *by_bucket.entry((d.rule.to_string(), d.file.clone())).or_default() += 1;
+        }
+        let counts = self
+            .counts
+            .iter()
+            .filter_map(|((rule, file), &allowed)| {
+                let found =
+                    by_bucket.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+                let keep = allowed.min(found);
+                (keep > 0).then(|| ((rule.clone(), file.clone()), keep))
+            })
+            .collect();
+        Baseline { counts, allow: self.allow.clone() }
+    }
+
+    /// Canonical on-disk form: header comment, per-rule count sections,
+    /// then the allowlist.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut by_rule: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
+        for ((rule, file), &count) in &self.counts {
+            by_rule.entry(rule).or_default().insert(file, count);
         }
         let mut out = String::new();
         out.push_str(
@@ -265,6 +299,29 @@ mod tests {
         assert!(again.is_allowed("lossy-cast", "crates/rapl/x.rs"));
         let (regressions, _) = again.compare(&diags);
         assert!(regressions.is_empty());
+    }
+
+    #[test]
+    fn pruned_clamps_without_adding_budget() {
+        let b = Baseline::parse(
+            "[no-unwrap]\n\"a.rs\" = 3\n\"b.rs\" = 2\n\n[allow.lossy-cast]\n\"crates/rapl/\" = true\n",
+        )
+        .unwrap();
+        // a.rs now has 1 finding (was 3), b.rs has none, c.rs is new.
+        let diags = vec![diag("no-unwrap", "a.rs"), diag("no-unwrap", "c.rs")];
+        let p = b.pruned(&diags);
+        assert_eq!(p.counts.get(&("no-unwrap".into(), "a.rs".into())), Some(&1));
+        assert!(!p.counts.contains_key(&("no-unwrap".into(), "b.rs".into())));
+        assert!(!p.counts.contains_key(&("no-unwrap".into(), "c.rs".into())), "prune must not absorb new findings");
+        assert!(p.is_allowed("lossy-cast", "crates/rapl/x.rs"));
+        assert!(p.stale_entries(&diags).is_empty());
+    }
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let b = Baseline::parse("[no-unwrap]\n\"a.rs\" = 3\n\n[allow.x]\n\"crates/y/\" = true\n")
+            .unwrap();
+        assert_eq!(Baseline::parse(&b.render()).unwrap(), b);
     }
 
     #[test]

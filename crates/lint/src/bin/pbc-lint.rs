@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pbc-lint [--root DIR] [--baseline FILE | --no-baseline]
-//!          [--format human|json] [--write-baseline] [--list-rules]
+//!          [--format human|json|github] [--write-baseline]
+//!          [--prune-baseline] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean (all findings baselined), 1 regressions,
@@ -22,8 +23,11 @@ OPTIONS:
     --root DIR          Workspace root (default: auto-detect via [workspace])
     --baseline FILE     Baseline file (default: <root>/lint-baseline.toml)
     --no-baseline       Gate with an empty baseline (report all findings)
-    --format FMT        Output format: human (default) or json
+    --format FMT        Output format: human (default), json, or github
+                        (GitHub Actions ::error/::warning annotations)
     --write-baseline    Regenerate the baseline from current findings
+    --prune-baseline    Ratchet stale baseline entries down to current
+                        counts (never adds budget for new findings)
     --list-rules        Print the rule catalog and exit
     -h, --help          Show this help
 ";
@@ -31,6 +35,7 @@ OPTIONS:
 enum Format {
     Human,
     Json,
+    Github,
 }
 
 struct Args {
@@ -39,6 +44,7 @@ struct Args {
     no_baseline: bool,
     format: Format,
     write_baseline: bool,
+    prune_baseline: bool,
     list_rules: bool,
 }
 
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         no_baseline: false,
         format: Format::Human,
         write_baseline: false,
+        prune_baseline: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
@@ -69,15 +76,17 @@ fn parse_args() -> Result<Args, String> {
                 args.format = match it.next().as_deref() {
                     Some("human") => Format::Human,
                     Some("json") => Format::Json,
+                    Some("github") => Format::Github,
                     other => {
                         return Err(format!(
-                            "--format expects human or json, got {:?}",
+                            "--format expects human, json, or github, got {:?}",
                             other.unwrap_or("<missing>")
                         ))
                     }
                 };
             }
             "--write-baseline" => args.write_baseline = true,
+            "--prune-baseline" => args.prune_baseline = true,
             "--list-rules" => args.list_rules = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -88,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.no_baseline && args.baseline.is_some() {
         return Err("--no-baseline conflicts with --baseline".into());
+    }
+    if args.write_baseline && args.prune_baseline {
+        return Err("--write-baseline conflicts with --prune-baseline".into());
     }
     Ok(args)
 }
@@ -146,9 +158,25 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if args.prune_baseline {
+        let pruned = baseline.pruned(&report.findings);
+        let dropped = baseline.counts.len() - pruned.counts.len();
+        let clamped = report.stale.len() - dropped;
+        std::fs::write(&baseline_path, pruned.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} stale entries removed, {} ratcheted down)",
+            baseline_path.display(),
+            dropped,
+            clamped
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
     match args.format {
         Format::Json => print_json(&report),
         Format::Human => print_human(&report),
+        Format::Github => print_github(&report),
     }
     Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
@@ -157,6 +185,31 @@ fn print_json(report: &Report) {
     println!(
         "{}",
         pbc_lint::diagnostics::json_report(&report.findings, report.new, report.baselined)
+    );
+}
+
+/// GitHub Actions annotations: one workflow command per actionable
+/// finding (regressed buckets and notes), then the human summary line
+/// (non-command lines are plain log output in Actions).
+fn print_github(report: &Report) {
+    for reg in &report.regressions {
+        for d in report
+            .findings
+            .iter()
+            .filter(|d| d.rule == reg.rule && d.file == reg.file)
+        {
+            println!("{}", d.github());
+        }
+    }
+    for d in &report.notes {
+        println!("{}", d.github());
+    }
+    println!(
+        "pbc-lint: {} files, {} findings ({} baselined, {} new)",
+        report.files_scanned,
+        report.findings.len(),
+        report.baselined,
+        report.new
     );
 }
 

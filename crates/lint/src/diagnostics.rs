@@ -59,6 +59,29 @@ impl Diagnostic {
         )
     }
 
+    /// Render as a GitHub Actions workflow annotation
+    /// (`::error file=..,line=..,col=..,title=..::message`), so CI runs
+    /// attach findings to the diff view.
+    #[must_use]
+    pub fn github(&self) -> String {
+        let level = match self.severity {
+            Severity::Note => "notice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        format!(
+            "::{} file={},line={},col={},title=pbc-lint[{}]::{}",
+            level,
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            // Annotation messages are single-line; the renderer keeps
+            // `%`, `\r`, `\n` escaped per the workflow-command spec.
+            self.message.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+        )
+    }
+
     /// Render as one JSON object.
     #[must_use]
     pub fn json(&self) -> String {
@@ -137,6 +160,23 @@ mod tests {
         let j = diag().json();
         assert!(j.contains(r#""message":"exact `==` on \"float\"""#), "{j}");
         assert!(j.contains(r#""line":7"#));
+    }
+
+    #[test]
+    fn github_annotation_format() {
+        assert_eq!(
+            diag().github(),
+            "::error file=crates/x/src/lib.rs,line=7,col=3,title=pbc-lint[float-cmp]\
+             ::exact `==` on \"float\""
+        );
+        let mut d = diag();
+        d.severity = Severity::Warning;
+        d.message = "50%\nof budget".into();
+        assert_eq!(
+            d.github(),
+            "::warning file=crates/x/src/lib.rs,line=7,col=3,title=pbc-lint[float-cmp]\
+             ::50%25%0Aof budget"
+        );
     }
 
     #[test]

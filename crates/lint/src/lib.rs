@@ -12,11 +12,15 @@
 //! (`lint-baseline.toml`) so existing debt is grandfathered but may
 //! only ratchet down. See `docs/LINTING.md` for the workflow.
 
+pub mod ast;
 pub mod baseline;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod symbols;
+pub mod units;
 
 pub use baseline::{Baseline, Regression};
 pub use diagnostics::{Diagnostic, Severity};
@@ -70,6 +74,7 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Repor
     let mut report = Report::default();
     let files = source::collect_rs_files(root)?;
     report.files_scanned = files.len();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             continue; // non-UTF8 or vanished mid-scan; nothing to lint
@@ -85,6 +90,14 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Repor
             } else {
                 report.findings.push(diag);
             }
+        }
+        sources.push((rel, src));
+    }
+    // Workspace-level pass: cross-file consistency of the trace-metric
+    // registry, code usage, and the observability doc.
+    for diag in rules::counter_drift::workspace_pass(root, &sources) {
+        if !baseline.is_allowed(diag.rule, &diag.file) {
+            report.findings.push(diag);
         }
     }
     let (regressions, _absorbed) = baseline.compare(&report.findings);

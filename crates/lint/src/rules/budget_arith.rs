@@ -1,0 +1,458 @@
+//! `unchecked-budget-arith`: subtracting from a budget without a floor
+//! on the result path.
+//!
+//! The water-filler, the decreases-first enforcement, and the chaos
+//! clamps all compute `remaining = budget - spent` shapes. If `spent`
+//! can exceed `budget` (sensor noise, stale reads, fault injection),
+//! the remainder goes negative and every downstream allocation
+//! inherits the corruption. The workspace convention is to floor the
+//! result immediately (`.max(0.0)` / `.clamp(..)` / `Watts::ZERO`) or
+//! to guard the subtraction behind a comparison. This rule flags a
+//! `budget`-named subtraction (binary `-` or compound `-=`) that is
+//! neither floored on its expression path, guarded by an enclosing
+//! `if`/`while` condition mentioning either operand, nor floored
+//! later in the same block via the bound name. Early-return guards
+//! (`if x < min { return Err(..) }`) extend to the rest of the block,
+//! since the fallthrough path only runs when the comparison held.
+
+use super::{diag_at, Rule};
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct BudgetArith;
+
+impl Rule for BudgetArith {
+    fn id(&self) -> &'static str {
+        "unchecked-budget-arith"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "budget subtraction without .max()/.clamp() floor or a guard on the result"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for f in &file.ast.fns {
+            scan_block(self, &f.body, &[], file, &mut out);
+        }
+        out.sort_by_key(|d| (d.line, d.col));
+        out.dedup_by_key(|d| (d.line, d.col));
+        out
+    }
+}
+
+/// Root identifier of an expression's "subject": the last path segment,
+/// field name, or the receiver chain's base, lowercased.
+fn root_name(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.last().map(|s| s.to_ascii_lowercase()),
+        ExprKind::Field(recv, name) => {
+            if name.chars().all(|c| c.is_ascii_digit()) {
+                root_name(recv)
+            } else {
+                Some(name.to_ascii_lowercase())
+            }
+        }
+        ExprKind::MethodCall(recv, name, _) => {
+            // `budget.value() - x`: the accessor keeps the subject.
+            if matches!(name.as_str(), "value" | "clone" | "abs" | "min" | "max" | "clamp") {
+                root_name(recv)
+            } else {
+                None
+            }
+        }
+        ExprKind::Paren(inner) | ExprKind::Ref(inner) | ExprKind::Try(inner) => root_name(inner),
+        ExprKind::Unary(_, inner) | ExprKind::Cast(inner, _) => root_name(inner),
+        _ => None,
+    }
+}
+
+fn is_budget_name(name: &str) -> bool {
+    name.contains("budget")
+}
+
+/// Names guarded by an enclosing `if`/`while` condition: any root name
+/// appearing in a comparison inside the condition.
+fn guard_names_of(cond: &Expr, into: &mut Vec<String>) {
+    cond.walk(&mut |e| {
+        if let ExprKind::Binary(op, a, b) = &e.kind {
+            if matches!(op.as_str(), "<" | ">" | "<=" | ">=" | "==" | "!=") {
+                for side in [a, b] {
+                    if let Some(n) = root_name(side) {
+                        into.push(n);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Walk one block. `guards` carries the binding names the enclosing
+/// conditions compared.
+fn scan_block(
+    rule: &BudgetArith,
+    block: &Block,
+    guards: &[String],
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Guards accumulated from early-return `if` statements earlier in
+    // this block: once `if budget < min { return Err(..) }` has run,
+    // everything after it executes under the negated condition.
+    let mut live: Vec<String> = guards.to_vec();
+    let guards = &mut live;
+    for (i, stmt) in block.stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Let { names, init: Some(e), .. } => {
+                let bound = match names.as_slice() {
+                    [single] => Some(single.as_str()),
+                    _ => None,
+                };
+                let later_floored = bound
+                    .map(|n| floored_later(&block.stmts[i + 1..], n))
+                    .unwrap_or(false);
+                find_subs(rule, e, guards, false, file, out, later_floored);
+                descend(rule, e, guards, file, out);
+            }
+            Stmt::Expr(e) | Stmt::Tail(e) => {
+                // Compound `budget -= x;` re-binds the same name, so the
+                // "later floor" lookup uses the assignment target.
+                let reassigned = match &e.kind {
+                    ExprKind::Assign(op, lhs, _) if op == "-=" || op == "=" => root_name(lhs),
+                    _ => None,
+                };
+                let later_floored = reassigned
+                    .as_deref()
+                    .map(|n| floored_later(&block.stmts[i + 1..], n))
+                    .unwrap_or(false);
+                find_subs(rule, e, guards, false, file, out, later_floored);
+                descend(rule, e, guards, file, out);
+                // `if x < min { return Err(..) }` with no else: the rest
+                // of this block only runs when the guard held.
+                if let ExprKind::If(cond, then, None) = &e.kind {
+                    if diverges(then) {
+                        guard_names_of(cond, guards);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does this block unconditionally leave the enclosing function/loop
+/// (its last statement is a `return`/`break`/`continue`)?
+fn diverges(block: &Block) -> bool {
+    matches!(
+        block.stmts.last(),
+        Some(Stmt::Expr(e) | Stmt::Tail(e)) if matches!(e.kind, ExprKind::Jump(_))
+    )
+}
+
+/// Recurse into nested blocks, extending the guard set at `if`/`while`
+/// conditions.
+fn descend(
+    rule: &BudgetArith,
+    e: &Expr,
+    guards: &[String],
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    match &e.kind {
+        ExprKind::If(cond, then, els) => {
+            let mut inner = guards.to_vec();
+            guard_names_of(cond, &mut inner);
+            scan_block(rule, then, &inner, file, out);
+            if let Some(els) = els {
+                descend(rule, els, &inner, file, out);
+            }
+        }
+        ExprKind::Loop(heads, body) => {
+            let mut inner = guards.to_vec();
+            for h in heads {
+                guard_names_of(h, &mut inner);
+            }
+            scan_block(rule, body, &inner, file, out);
+        }
+        ExprKind::BlockExpr(b) => scan_block(rule, b, guards, file, out),
+        ExprKind::Match(_, arms) => {
+            for arm in arms {
+                descend(rule, arm, guards, file, out);
+            }
+        }
+        ExprKind::Closure(_, body) => descend(rule, body, guards, file, out),
+        _ => {
+            // Plain expression: nested blocks can still hide in call
+            // arguments etc. — walk for them.
+            e.walk(&mut |n| {
+                if !std::ptr::eq(n, e) {
+                    match &n.kind {
+                        ExprKind::If(..)
+                        | ExprKind::Loop(..)
+                        | ExprKind::BlockExpr(_)
+                        | ExprKind::Match(..)
+                        | ExprKind::Closure(..) => descend(rule, n, guards, file, out),
+                        _ => {}
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Find unguarded budget subtractions in one statement-level expression.
+/// `floored` means an ancestor already floors the value (`.max(..)`
+/// receiver/argument position), `later` that the bound name is floored
+/// or guarded further down the block.
+fn find_subs(
+    rule: &BudgetArith,
+    e: &Expr,
+    guards: &[String],
+    floored: bool,
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+    later: bool,
+) {
+    let flag = |sub_name: &str, span: crate::ast::Span, out: &mut Vec<Diagnostic>| {
+        let (line, col) = span.position(&file.tokens);
+        if !file.lintable_line(line) {
+            return;
+        }
+        out.push(diag_at(
+            rule.id(),
+            rule.severity(),
+            file,
+            line,
+            col,
+            format!(
+                "`{sub_name}` subtraction has no floor; add .max(..)/.clamp(..) or guard the \
+                 result before use"
+            ),
+        ));
+    };
+    match &e.kind {
+        ExprKind::Binary(op, a, b) if op == "-" => {
+            if let Some(n) = root_name(a) {
+                // A guard naming either operand clears the subtraction:
+                // comparing the subtrahend (`if mem < floor { return .. }`)
+                // shows the author bounded it before spending it.
+                let guarded = guards
+                    .iter()
+                    .any(|g| *g == n || Some(g.as_str()) == root_name(b).as_deref());
+                if is_budget_name(&n) && !floored && !later && !guarded {
+                    flag(&n, e.span, out);
+                }
+            }
+            find_subs(rule, a, guards, floored, file, out, later);
+            find_subs(rule, b, guards, floored, file, out, later);
+        }
+        ExprKind::Assign(op, lhs, rhs) => {
+            if op == "-=" {
+                if let Some(n) = root_name(lhs) {
+                    if is_budget_name(&n) && !later && !guards.iter().any(|g| *g == n) {
+                        flag(&n, e.span, out);
+                    }
+                }
+            }
+            find_subs(rule, rhs, guards, floored, file, out, later);
+        }
+        ExprKind::MethodCall(recv, name, args) => {
+            let floors = matches!(name.as_str(), "max" | "clamp");
+            find_subs(rule, recv, guards, floored || floors, file, out, later);
+            for a in args {
+                find_subs(rule, a, guards, floored, file, out, later);
+            }
+        }
+        ExprKind::Call(callee, args) => {
+            // `f64::max(budget - x, 0.0)` and `Watts::new(..)`-style
+            // constructors don't floor by themselves — only max/clamp.
+            let floors = matches!(callee_name(callee).as_deref(), Some("max" | "clamp"));
+            for a in args {
+                find_subs(rule, a, guards, floored || floors, file, out, later);
+            }
+        }
+        ExprKind::Paren(inner) | ExprKind::Ref(inner) | ExprKind::Try(inner) => {
+            find_subs(rule, inner, guards, floored, file, out, later)
+        }
+        ExprKind::Unary(_, inner) | ExprKind::Cast(inner, _) => {
+            find_subs(rule, inner, guards, floored, file, out, later)
+        }
+        ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+            find_subs(rule, a, guards, floored, file, out, later);
+            find_subs(rule, b, guards, floored, file, out, later);
+        }
+        ExprKind::Tuple(es) | ExprKind::Array(es) => {
+            for x in es {
+                find_subs(rule, x, guards, floored, file, out, later);
+            }
+        }
+        ExprKind::StructLit(_, fields) => {
+            for (_, x) in fields {
+                find_subs(rule, x, guards, floored, file, out, later);
+            }
+        }
+        ExprKind::If(cond, _, _) => {
+            // The condition itself: a subtraction inside a comparison is
+            // its own guard (`if budget - x > 0.0`). Blocks are handled
+            // by `descend`.
+            let mut inner = guards.to_vec();
+            guard_names_of(cond, &mut inner);
+            find_subs(rule, cond, &inner, floored, file, out, later);
+        }
+        ExprKind::Jump(Some(inner)) => find_subs(rule, inner, guards, floored, file, out, later),
+        _ => {}
+    }
+}
+
+fn callee_name(callee: &Expr) -> Option<String> {
+    match &callee.kind {
+        ExprKind::Path(segs) => segs.last().map(|s| s.to_ascii_lowercase()),
+        _ => None,
+    }
+}
+
+/// Is `name` floored or guarded in the statements after its binding?
+fn floored_later(rest: &[Stmt], name: &str) -> bool {
+    let lname = name.to_ascii_lowercase();
+    let mut found = false;
+    for stmt in rest {
+        let exprs: Vec<&Expr> = match stmt {
+            Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) | Stmt::Tail(e) => vec![e],
+            _ => vec![],
+        };
+        for e in exprs {
+            e.walk(&mut |n| {
+                if found {
+                    return;
+                }
+                match &n.kind {
+                    // `r.max(..)` / `r.clamp(..)` on the bound name.
+                    ExprKind::MethodCall(recv, m, _)
+                        if matches!(m.as_str(), "max" | "clamp")
+                            && root_name(recv).as_deref() == Some(&lname) =>
+                    {
+                        found = true;
+                    }
+                    // `f64::max(r, ..)`-style floor.
+                    ExprKind::Call(callee, args)
+                        if matches!(callee_name(callee).as_deref(), Some("max" | "clamp"))
+                            && args.iter().any(|a| root_name(a).as_deref() == Some(&lname)) =>
+                    {
+                        found = true;
+                    }
+                    // A comparison on the bound name counts as a guard.
+                    ExprKind::Binary(op, a, b)
+                        if matches!(op.as_str(), "<" | ">" | "<=" | ">=")
+                            && (root_name(a).as_deref() == Some(&lname)
+                                || root_name(b).as_deref() == Some(&lname)) =>
+                    {
+                        found = true;
+                    }
+                    _ => {}
+                }
+            });
+        }
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_bare_budget_subtraction() {
+        let src = "fn f(budget: f64, used: f64) -> f64 { budget - used }";
+        let d = run_rule(&BudgetArith, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("budget"));
+    }
+
+    #[test]
+    fn flags_compound_subtraction_without_refloor() {
+        let src = "fn f(mut budget: f64, x: f64) -> f64 { budget -= x; budget }";
+        assert_eq!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_let_bound_remainder_used_unfloored() {
+        let src = "fn f(budget_w: f64, spent: f64) -> f64 {\n\
+                   let rest = budget_w - spent;\n\
+                   rest * 2.0\n}";
+        assert_eq!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn floor_on_the_expression_path_is_fine() {
+        let src = "fn f(budget: f64, used: f64) -> f64 { (budget - used).max(0.0) }";
+        assert!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn enclosing_guard_is_fine() {
+        let src = "fn f(budget: f64, used: f64) -> f64 {\n\
+                   if used <= budget { budget - used } else { 0.0 }\n}";
+        let d = run_rule(&BudgetArith, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn later_floor_on_the_binding_is_fine() {
+        let src = "fn f(budget: f64, used: f64) -> f64 {\n\
+                   let rest = budget - used;\n\
+                   rest.max(0.0)\n}";
+        assert!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn early_return_guard_extends_to_rest_of_block() {
+        let src = "fn f(budget: f64, min: f64, used: f64) -> f64 {\n\
+                   if budget < min { return 0.0; }\n\
+                   budget - used\n}";
+        let d = run_rule(&BudgetArith, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_on_the_subtrahend_is_fine() {
+        let src = "fn f(budget: f64, mem: f64, floor: f64) -> f64 {\n\
+                   if mem < floor { return 0.0; }\n\
+                   budget - mem\n}";
+        let d = run_rule(&BudgetArith, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_diverging_if_does_not_extend_guards() {
+        let src = "fn f(budget: f64, used: f64) -> f64 {\n\
+                   if used <= budget { log(used); }\n\
+                   budget - used\n}";
+        let d = run_rule(&BudgetArith, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn non_budget_subtraction_is_ignored() {
+        let src = "fn f(a: f64, b: f64) -> f64 { a - b }";
+        assert!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fn_max_call_floor_is_fine() {
+        let src = "fn f(budget: f64, used: f64) -> f64 { f64::max(budget - used, 0.0) }";
+        assert!(run_rule(&BudgetArith, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

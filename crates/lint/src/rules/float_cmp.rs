@@ -4,12 +4,17 @@
 //! exact equality on an `f64` silently misclassifies scenarios (the
 //! bugs fixed at `pbc-types::metrics::ratio`, powersim's phase-weight
 //! validation, and the per-socket share split were all of this shape).
-//! Without type inference the linter flags comparisons where either
-//! operand is a float *literal* — which is exactly the `x == 0.0`
-//! pattern that caused the real bugs — and comparisons whose operand
-//! chain visibly ends in `.value()` or `.0` on a unit newtype.
+//!
+//! The rule runs on the AST: a comparison flags when either operand
+//! *visibly* carries float material — a float literal, a `.value()`
+//! call or `.0` field read off a unit newtype, an `as f64`/`as f32`
+//! cast, or arithmetic over any of those — no matter how many lines the
+//! expression spans. Macro interiors and code outside parsed functions
+//! fall back to the original token-level scan, so `assert!(x == 0.0)`
+//! in library code is still caught.
 
-use super::{diag_at, Rule};
+use super::{diag_at, AstCoverage, Rule};
+use crate::ast::{Expr, ExprKind, LitKind};
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
@@ -32,17 +37,53 @@ impl Rule for FloatCmp {
 
     fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
+        // AST pass: every parsed comparison, across any number of lines.
+        for f in &file.ast.fns {
+            f.body.walk_exprs(&mut |e| {
+                let ExprKind::Binary(op, a, b) = &e.kind else { return };
+                if op != "==" && op != "!=" {
+                    return;
+                }
+                if !float_material(a) && !float_material(b) {
+                    return;
+                }
+                // Report at the operator token (right before the rhs)
+                // so inline allows keep working line-precisely.
+                let op_idx = b.span.lo.saturating_sub(1);
+                let (line, col) = file
+                    .tokens
+                    .get(op_idx)
+                    .filter(|t| t.text == *op)
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or_else(|| e.span.position(&file.tokens));
+                if !file.lintable_line(line) {
+                    return;
+                }
+                out.push(diag_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    line,
+                    col,
+                    format!(
+                        "exact `{op}` on a float expression; use approx_eq/is_zero \
+                         from pbc_types::units"
+                    ),
+                ));
+            });
+        }
+        // Token fallback for macro interiors and top-level code.
+        let cov = AstCoverage::of(file);
         let toks = &file.tokens;
         for (i, t) in toks.iter().enumerate() {
             if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
                 continue;
             }
-            if !file.lintable_line(t.line) {
+            if cov.ast_covered(i) || !file.lintable_line(t.line) {
                 continue;
             }
             let float_left = i > 0 && toks[i - 1].kind == TokenKind::Float
                 || ends_in_unit_access(toks, i);
-            // Right side: literal, optionally behind unary minus.
             let float_right = match toks.get(i + 1) {
                 Some(n) if n.kind == TokenKind::Float => true,
                 Some(n) if n.text == "-" => {
@@ -65,18 +106,44 @@ impl Rule for FloatCmp {
                 ));
             }
         }
+        out.sort_by_key(|d| (d.line, d.col));
+        out.dedup_by_key(|d| (d.line, d.col));
         out
     }
 }
 
-/// Does the expression ending just before token `i` end in `.value()`
-/// or `.0` — the unit-newtype accessors?
+/// Does this operand visibly carry float material? Deliberately does
+/// not recurse into call arguments (a float argument says nothing about
+/// the call's result) or through `.round()`-style methods (comparing
+/// integral-valued floats exactly is well-defined).
+fn float_material(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Lit(LitKind::Float, _) => true,
+        ExprKind::MethodCall(_, name, _) => name == "value",
+        ExprKind::Field(_, name) => name == "0",
+        ExprKind::Cast(_, ty) => {
+            matches!(ty.split_whitespace().next(), Some("f64" | "f32"))
+        }
+        ExprKind::Unary(_, inner)
+        | ExprKind::Paren(inner)
+        | ExprKind::Ref(inner)
+        | ExprKind::Try(inner) => float_material(inner),
+        ExprKind::Binary(op, a, b)
+            if matches!(op.as_str(), "+" | "-" | "*" | "/" | "%") =>
+        {
+            float_material(a) || float_material(b)
+        }
+        _ => false,
+    }
+}
+
+/// Token-level fallback: does the expression ending just before token
+/// `i` end in `.value()` or `.0` — the unit-newtype accessors?
 fn ends_in_unit_access(toks: &[crate::lexer::Token], i: usize) -> bool {
-    if i >= 3
+    if i >= 4
         && toks[i - 1].text == ")"
         && toks[i - 2].text == "("
         && toks[i - 3].text == "value"
-        && i >= 4
         && toks[i - 4].text == "."
     {
         return true;
@@ -119,9 +186,31 @@ mod tests {
     }
 
     #[test]
+    fn flags_multiline_comparison() {
+        let src = "fn f(a: Watts, b: f64) -> bool {\n    a.value()\n        == b * 2.0\n}";
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn flags_inside_macros_via_fallback() {
+        let src = "fn f(w: f64) { assert!(w == 0.25); }";
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
     fn ignores_integer_comparison() {
         let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", "fn f(n: usize) -> bool { n == 0 }");
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ignores_rounded_comparison() {
+        let src = "fn f(a: f64, b: f64) -> bool { a.round() == b.round() }";
+        let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

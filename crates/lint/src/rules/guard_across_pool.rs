@@ -1,0 +1,255 @@
+//! `guard-across-pool`: a lock guard held across a `pbc-par` pool call.
+//!
+//! `Pool::run` / `Pool::run_wrapped` execute *inline* on the calling
+//! thread when invoked from inside a pool worker (the nested-call
+//! escape hatch). That means a `MutexGuard`/`RwLock` guard held across
+//! the call can be re-acquired by the inlined job on the same thread —
+//! a self-deadlock that only manifests under nesting, which is exactly
+//! when the coordinator paths are busiest. The rule flags a `let`-bound
+//! guard (an initializer ending in `.lock()`, or `.read()`/`.write()`
+//! on a lock-named receiver) that is still live — not `drop`ped, not
+//! out of scope — when a `.run(..)`/`.run_wrapped(..)` on a pool-named
+//! receiver appears later in the same block.
+
+use super::{diag_at, Rule};
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct GuardAcrossPool;
+
+impl Rule for GuardAcrossPool {
+    fn id(&self) -> &'static str {
+        "guard-across-pool"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "lock guard live across pool.run/run_wrapped (deadlocks under nested inline execution)"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for f in &file.ast.fns {
+            scan_block(self, &f.body, file, &mut out);
+        }
+        out.sort_by_key(|d| (d.line, d.col));
+        out.dedup_by_key(|d| (d.line, d.col));
+        out
+    }
+}
+
+/// Does this initializer *bind* a guard? Strips `Paren`/`Try` and the
+/// `unwrap`/`expect` tail, then requires the chain to end at `.lock()`
+/// or `.read()`/`.write()` on a lock-ish receiver. A deref (`*expr`)
+/// copies the value out instead, so it does not bind a guard.
+fn binds_guard(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Paren(inner) | ExprKind::Try(inner) => binds_guard(inner),
+        ExprKind::MethodCall(recv, name, _) => match name.as_str() {
+            "unwrap" | "expect" => binds_guard(recv),
+            "lock" => true,
+            "read" | "write" => receiver_is_lockish(recv),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn receiver_is_lockish(recv: &Expr) -> bool {
+    let mut lockish = false;
+    recv.walk(&mut |e| {
+        let name = match &e.kind {
+            ExprKind::Path(segs) => segs.last().map(String::as_str),
+            ExprKind::Field(_, f) => Some(f.as_str()),
+            _ => None,
+        };
+        if let Some(n) = name {
+            let n = n.to_ascii_lowercase();
+            if n.contains("lock") || n.contains("mutex") || n.contains("rw") {
+                lockish = true;
+            }
+        }
+    });
+    lockish
+}
+
+/// Is this expression a `.run(..)` / `.run_wrapped(..)` on something
+/// pool-named? Returns the receiver description for the message.
+fn pool_call(e: &Expr) -> bool {
+    let ExprKind::MethodCall(recv, name, _) = &e.kind else { return false };
+    if !matches!(name.as_str(), "run" | "run_wrapped") {
+        return false;
+    }
+    let mut poolish = false;
+    recv.walk(&mut |r| {
+        let name = match &r.kind {
+            ExprKind::Path(segs) => segs.last().map(String::as_str),
+            ExprKind::Field(_, f) => Some(f.as_str()),
+            ExprKind::MethodCall(_, m, _) => Some(m.as_str()),
+            ExprKind::Call(callee, _) => match &callee.kind {
+                ExprKind::Path(segs) => segs.last().map(String::as_str),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(n) = name {
+            if n.to_ascii_lowercase().contains("pool") {
+                poolish = true;
+            }
+        }
+    });
+    poolish
+}
+
+/// Is this statement `drop(name)`?
+fn drops(stmt: &Stmt, name: &str) -> bool {
+    let Stmt::Expr(e) = stmt else { return false };
+    let ExprKind::Call(callee, args) = &e.kind else { return false };
+    let ExprKind::Path(segs) = &callee.kind else { return false };
+    if segs.last().map(String::as_str) != Some("drop") {
+        return false;
+    }
+    args.iter().any(|a| matches!(&a.kind, ExprKind::Path(p) if p.last().map(String::as_str) == Some(name)))
+}
+
+fn scan_block(rule: &GuardAcrossPool, block: &Block, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // Guards live in this block, in acquisition order.
+    let mut live: Vec<String> = Vec::new();
+    for stmt in &block.stmts {
+        // Kill guards this statement drops.
+        live.retain(|g| !drops(stmt, g));
+        // Check the statement's expressions for pool calls while any
+        // guard from this block is live.
+        if !live.is_empty() {
+            let exprs: Vec<&Expr> = match stmt {
+                Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) | Stmt::Tail(e) => vec![e],
+                _ => vec![],
+            };
+            for e in exprs {
+                e.walk(&mut |n| {
+                    if pool_call(n) {
+                        let (line, col) = n.span.position(&file.tokens);
+                        if file.lintable_line(line) {
+                            out.push(diag_at(
+                                rule.id(),
+                                rule.severity(),
+                                file,
+                                line,
+                                col,
+                                format!(
+                                    "pool call with lock guard `{}` still live; drop the guard \
+                                     first (nested pool jobs run inline and re-lock)",
+                                    live.join("`, `")
+                                ),
+                            ));
+                        }
+                    }
+                });
+            }
+        }
+        // New guard bindings take effect for *subsequent* statements.
+        if let Stmt::Let { names, init: Some(e), .. } = stmt {
+            if binds_guard(e) {
+                live.extend(names.iter().cloned());
+            }
+        }
+        // Recurse into nested blocks for their own guard scopes.
+        for_each_subblock(stmt, &mut |b| scan_block(rule, b, file, out));
+    }
+}
+
+/// Visit every nested block inside a statement.
+fn for_each_subblock(stmt: &Stmt, f: &mut dyn FnMut(&Block)) {
+    let exprs: Vec<&Expr> = match stmt {
+        Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) | Stmt::Tail(e) => vec![e],
+        _ => vec![],
+    };
+    for e in exprs {
+        e.walk(&mut |n| match &n.kind {
+            ExprKind::If(_, b, _) | ExprKind::Loop(_, b) | ExprKind::BlockExpr(b) => f(b),
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_guard_held_across_run() {
+        let src = "fn f(state: &Mutex<S>, pool: &Pool) {\n\
+                   let g = state.lock().unwrap();\n\
+                   pool.run(|| work());\n}";
+        let d = run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains('g'));
+    }
+
+    #[test]
+    fn flags_rwlock_read_guard_across_run_wrapped() {
+        let src = "fn f(rw_lock: &RwLock<S>, pool: &Pool) {\n\
+                   let snapshot = rw_lock.read().unwrap();\n\
+                   pool.run_wrapped(job);\n}";
+        assert_eq!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_pool_behind_field_access() {
+        let src = "fn f(&self) {\n\
+                   let g = self.state_lock.lock().unwrap();\n\
+                   self.pool.run(|| {});\n}";
+        assert_eq!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let src = "fn f(state: &Mutex<S>, pool: &Pool) {\n\
+                   let g = state.lock().unwrap();\n\
+                   drop(g);\n\
+                   pool.run(|| {});\n}";
+        assert!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_is_fine() {
+        let src = "fn f(state: &Mutex<S>, pool: &Pool) {\n\
+                   { let g = state.lock().unwrap(); g.touch(); }\n\
+                   pool.run(|| {});\n}";
+        assert!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deref_copy_is_not_a_guard() {
+        let src = "fn f(state: &Mutex<f64>, pool: &Pool) {\n\
+                   let v = *state.lock().unwrap();\n\
+                   pool.run(move || use_value(v));\n}";
+        assert!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pool_call_before_the_guard_is_fine() {
+        let src = "fn f(state: &Mutex<S>, pool: &Pool) {\n\
+                   pool.run(|| {});\n\
+                   let g = state.lock().unwrap();\n\
+                   g.touch();\n}";
+        assert!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_read_on_non_lock_is_ignored() {
+        let src = "fn f(file: &File, pool: &Pool) {\n\
+                   let data = file.read().unwrap();\n\
+                   pool.run(|| {});\n}";
+        assert!(run_rule(&GuardAcrossPool, "crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -5,12 +5,18 @@
 //! leaves the newtype via `.value()` or `.0`, an `as` cast to an
 //! integer type truncates (not rounds) and saturates, and a cast to
 //! `f32` quietly halves the mantissa. Both have corrupted power
-//! accounting in systems like this one without ever crashing. The rule
-//! flags an `as <narrower numeric>` whose source expression visibly
-//! involves unit material on the same line: a `.value()` call, a `.0`
-//! field read, or a float literal.
+//! accounting in systems like this one without ever crashing.
+//!
+//! The rule runs on the AST: a cast to a narrower numeric type flags
+//! when its *source expression* contains float material — a float
+//! literal, `.value()`, `.0`, an `as f64` intermediate, or method
+//! chains over those — however many lines the expression spans, and
+//! never because unrelated float code happened to sit earlier on the
+//! same line. Macro interiors and unparsed code fall back to the
+//! original same-line token scan.
 
-use super::{diag_at, Rule};
+use super::{diag_at, AstCoverage, Rule};
+use crate::ast::{Expr, ExprKind, LitKind};
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::lexer::TokenKind;
 use crate::source::{FileKind, SourceFile};
@@ -40,9 +46,50 @@ impl Rule for LossyCast {
             return Vec::new();
         }
         let mut out = Vec::new();
+        // AST pass.
+        for f in &file.ast.fns {
+            f.body.walk_exprs(&mut |e| {
+                let ExprKind::Cast(src, ty) = &e.kind else { return };
+                let target = ty.split_whitespace().next().unwrap_or("");
+                let to_int = INT_TARGETS.contains(&target);
+                let to_f32 = target == "f32";
+                if (!to_int && !to_f32) || !cast_material(src) {
+                    return;
+                }
+                // Report at the `as` token (right after the source expr)
+                // so lines match the original rule and inline allows.
+                let as_idx = src.span.hi + 1;
+                let (line, col) = file
+                    .tokens
+                    .get(as_idx)
+                    .filter(|t| t.text == "as")
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or_else(|| e.span.position(&file.tokens));
+                if !file.lintable_line(line) {
+                    return;
+                }
+                let loss = if to_int { "truncates and saturates" } else { "loses f64 precision" };
+                out.push(diag_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    line,
+                    col,
+                    format!(
+                        "unit-carrying value cast `as {target}` {loss}; round explicitly or \
+                         keep f64"
+                    ),
+                ));
+            });
+        }
+        // Token fallback for macro interiors and top-level code.
+        let cov = AstCoverage::of(file);
         let toks = &file.tokens;
         for (i, t) in toks.iter().enumerate() {
             if t.kind != TokenKind::Ident || t.text != "as" || !file.lintable_line(t.line) {
+                continue;
+            }
+            if cov.ast_covered(i) {
                 continue;
             }
             let Some(target) = toks.get(i + 1) else { continue };
@@ -67,13 +114,50 @@ impl Rule for LossyCast {
                 ),
             ));
         }
+        out.sort_by_key(|d| (d.line, d.col));
+        out.dedup_by_key(|d| (d.line, d.col));
         out
     }
 }
 
-/// Scan backwards on the same line for evidence the cast source came
-/// from a unit newtype: `.value()`, a `.0` field read, or a float
-/// literal feeding the expression.
+/// Does the cast's source expression carry float material? Method
+/// chains recurse through their receiver (`(w.value() * 1e6).abs()`)
+/// and calls through their arguments (`scale(w.value())`), because the
+/// float-ness flows through either way — except explicit rounding
+/// (`.round()`/`.floor()`/`.ceil()`/`.trunc()`), which is exactly what
+/// the rule asks for and therefore sanctions the cast.
+fn cast_material(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Lit(LitKind::Float, _) => true,
+        ExprKind::Field(_, name) => name == "0",
+        ExprKind::MethodCall(_, name, _)
+            if matches!(name.as_str(), "round" | "floor" | "ceil" | "trunc") =>
+        {
+            false
+        }
+        ExprKind::MethodCall(recv, name, args) => {
+            name == "value" || cast_material(recv) || args.iter().any(cast_material_ref)
+        }
+        ExprKind::Cast(_, ty) => matches!(ty.split_whitespace().next(), Some("f64" | "f32")),
+        ExprKind::Call(_, args) => args.iter().any(cast_material_ref),
+        ExprKind::Unary(_, inner)
+        | ExprKind::Paren(inner)
+        | ExprKind::Ref(inner)
+        | ExprKind::Try(inner)
+        | ExprKind::Index(inner, _) => cast_material(inner),
+        ExprKind::Binary(op, a, b) if matches!(op.as_str(), "+" | "-" | "*" | "/" | "%") => {
+            cast_material(a) || cast_material(b)
+        }
+        _ => false,
+    }
+}
+
+fn cast_material_ref(e: &Expr) -> bool {
+    cast_material(e)
+}
+
+/// Token-level fallback: scan backwards on the same line for evidence
+/// the cast source came from a unit newtype.
 fn unit_material_before(toks: &[crate::lexer::Token], as_idx: usize) -> bool {
     let line = toks[as_idx].line;
     let mut j = as_idx;
@@ -112,10 +196,21 @@ mod tests {
 
     #[test]
     fn flags_value_to_int() {
-        let src = "fn f(w: Watts) -> u64 { (w.value() * 1e6).round() as u64 }";
+        let src = "fn f(w: Watts) -> u64 { (w.value() * 1e6) as u64 }";
         let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("as u64"));
+    }
+
+    #[test]
+    fn explicit_rounding_sanctions_the_cast() {
+        // The rule's own advice: "round explicitly". Doing so clears it.
+        let src = "fn f(w: Watts) -> u64 { (w.value() * 1e6).round() as u64 }";
+        let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+        let src = "fn f(n: usize) -> usize { (n as f64).sqrt().floor() as usize }";
+        let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
@@ -128,6 +223,22 @@ mod tests {
     fn flags_float_literal_to_f32() {
         let src = "fn f(x: f64) -> f32 { (x * 100.0) as f32 }";
         assert_eq!(run_rule(&LossyCast, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_multiline_cast_source() {
+        let src = "fn f(w: Watts) -> u64 {\n    (w.value()\n        * 1e6)\n        as u64\n}";
+        let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn unrelated_float_on_same_line_is_fine() {
+        // The old same-line scan flagged `n as usize` here because the
+        // condition mentions `.value()`; the AST knows better.
+        let src = "fn f(w: Watts, n: u32) -> usize { if w.value() > 0.0 { n as usize } else { 0 } }";
+        let d = run_rule(&LossyCast, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -7,21 +7,30 @@
 //! per-rule allowlist afterwards, so rules never need to think about
 //! suppression.
 
+mod budget_arith;
+pub(crate) mod counter_drift;
 mod float_cmp;
+mod guard_across_pool;
 mod lossy_cast;
 mod must_use;
 mod no_println;
 mod no_unwrap;
+mod unit_mix;
 mod wildcard_import;
 
+use crate::ast::ExprKind;
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::source::SourceFile;
 
+pub use budget_arith::BudgetArith;
+pub use counter_drift::CounterDrift;
 pub use float_cmp::FloatCmp;
+pub use guard_across_pool::GuardAcrossPool;
 pub use lossy_cast::LossyCast;
 pub use must_use::MissingMustUse;
 pub use no_println::NoPrintln;
 pub use no_unwrap::NoUnwrap;
+pub use unit_mix::UnitMix;
 pub use wildcard_import::WildcardImport;
 
 /// One lint rule.
@@ -46,7 +55,42 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoPrintln),
         Box::new(WildcardImport),
         Box::new(MissingMustUse),
+        Box::new(UnitMix),
+        Box::new(BudgetArith),
+        Box::new(GuardAcrossPool),
+        Box::new(CounterDrift),
     ]
+}
+
+/// Which token indices the AST pass actually analyzes: inside a parsed
+/// function body but *not* inside a macro invocation (macro interiors
+/// are opaque to the parser). AST-ported rules run their token-level
+/// fallback only on uncovered indices, so nothing is double-reported
+/// and nothing is lost.
+pub(crate) struct AstCoverage {
+    fn_spans: Vec<(usize, usize)>,
+    macro_spans: Vec<(usize, usize)>,
+}
+
+impl AstCoverage {
+    pub(crate) fn of(file: &SourceFile) -> AstCoverage {
+        let mut fn_spans = Vec::new();
+        let mut macro_spans = Vec::new();
+        for f in &file.ast.fns {
+            fn_spans.push((f.body.span.lo, f.body.span.hi));
+            f.body.walk_exprs(&mut |e| {
+                if matches!(e.kind, ExprKind::MacroCall(_)) {
+                    macro_spans.push((e.span.lo, e.span.hi));
+                }
+            });
+        }
+        AstCoverage { fn_spans, macro_spans }
+    }
+
+    pub(crate) fn ast_covered(&self, tok_idx: usize) -> bool {
+        self.fn_spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&tok_idx))
+            && !self.macro_spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&tok_idx))
+    }
 }
 
 /// Helper shared by rules: build a diagnostic at a token position.

@@ -1,0 +1,142 @@
+//! `unit-mix`: arithmetic or comparison across different physical
+//! dimensions.
+//!
+//! The coordinators juggle watts (budgets, caps), joules, seconds,
+//! fractions (shares), and performance numbers — most of them as raw
+//! `f64`s once they leave the `pbc_types` newtypes. Adding a watts cap
+//! to a budget *fraction*, or comparing a power draw against an energy
+//! total, type-checks fine and corrupts the accounting silently. The
+//! unit-flow pass ([`crate::symbols`]) infers a dimension for every
+//! binding; this rule flags `+`, `-`, and ordering/equality comparisons
+//! whose operands have *different strong* dimensions. Unknown and
+//! unitless operands never flag, so plain numeric code stays quiet.
+
+use super::{diag_at, Rule};
+use crate::ast::{Expr, ExprKind};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::{FileKind, SourceFile};
+use crate::symbols::{self, Env};
+
+/// See module docs.
+pub struct UnitMix;
+
+impl Rule for UnitMix {
+    fn id(&self) -> &'static str {
+        "unit-mix"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "adding/comparing values of different dimensions (watts vs fraction, ...)"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out: Vec<Diagnostic> = Vec::new();
+        for f in &file.ast.fns {
+            symbols::walk_fn(f, &mut |e, env| {
+                e.walk(&mut |node| check_node(self, node, env, file, &mut out));
+            });
+        }
+        // `walk_fn` delivers nested-block statements both inside their
+        // enclosing statement expression and on their own (with an
+        // updated env); keep one finding per position.
+        out.sort_by_key(|d| (d.line, d.col));
+        out.dedup_by_key(|d| (d.line, d.col));
+        out
+    }
+}
+
+fn check_node(
+    rule: &UnitMix,
+    node: &Expr,
+    env: &Env,
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ExprKind::Binary(op, a, b) = &node.kind else { return };
+    if !matches!(op.as_str(), "+" | "-" | "==" | "!=" | "<" | ">" | "<=" | ">=") {
+        return;
+    }
+    let (da, db) = (symbols::dim_of_expr(a, env), symbols::dim_of_expr(b, env));
+    if !(da.is_strong() && db.is_strong() && da != db) {
+        return;
+    }
+    let (line, col) = node.span.position(&file.tokens);
+    if !file.lintable_line(line) {
+        return;
+    }
+    let verb = if matches!(op.as_str(), "+" | "-") { "mixes" } else { "compares" };
+    out.push(diag_at(
+        rule.id(),
+        rule.severity(),
+        file,
+        line,
+        col,
+        format!("`{op}` {verb} {} with {}; convert to one dimension first", da.name(), db.name()),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_rule;
+    use super::*;
+
+    #[test]
+    fn flags_watts_plus_fraction() {
+        let src = "fn f(cap: Watts, share: f64) -> f64 { cap.value() + share }";
+        let d = run_rule(&UnitMix, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("watts"));
+        assert!(d[0].message.contains("fraction"));
+    }
+
+    #[test]
+    fn flags_watts_compared_to_joules() {
+        let src = "fn f(draw_w: f64, energy: f64) -> bool { draw_w > energy }";
+        assert_eq!(run_rule(&UnitMix, "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_propagated_mix_across_lets() {
+        let src = "fn f(budget: Watts, dt: Seconds) -> f64 {\n\
+                   let spent = budget.value() * dt.value();\n\
+                   spent - budget.value()\n}";
+        let d = run_rule(&UnitMix, "crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("joules"));
+    }
+
+    #[test]
+    fn same_dimension_is_fine() {
+        let src = "fn f(a: Watts, b: Watts) -> f64 { a.value() - b.value() }";
+        assert!(run_rule(&UnitMix, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn literals_and_counters_never_flag() {
+        let src = "fn f(cap_w: f64, n: usize) -> f64 { cap_w + 0.001 + n as f64 }";
+        assert!(run_rule(&UnitMix, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fraction_scaling_is_fine() {
+        let src = "fn f(total: Watts, share: f64) -> f64 {\n\
+                   let mine = total.value() * share;\n\
+                   total.value() - mine\n}";
+        assert!(run_rule(&UnitMix, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn t(cap: Watts, share: f64) -> f64 { cap.value() + share }\n}\n";
+        let d = run_rule(&UnitMix, "crates/x/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -53,6 +53,8 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// Token stream (comments excluded).
     pub tokens: Vec<Token>,
+    /// Parsed AST (functions + expressions) built over `tokens`.
+    pub ast: crate::ast::File,
     /// Inclusive line ranges covered by `#[cfg(test)]` items and
     /// `#[test]` functions.
     test_regions: Vec<(usize, usize)>,
@@ -66,6 +68,7 @@ impl SourceFile {
     pub fn parse(rel_path: &str, src: &str) -> SourceFile {
         let kind = FileKind::classify(rel_path);
         let Lexed { tokens, comments } = lex(src);
+        let ast = crate::parser::parse(&tokens);
         let test_regions = find_test_regions(&tokens);
         let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
         for c in &comments {
@@ -77,7 +80,7 @@ impl SourceFile {
                 }
             }
         }
-        SourceFile { rel_path: rel_path.to_string(), kind, tokens, test_regions, allows }
+        SourceFile { rel_path: rel_path.to_string(), kind, tokens, ast, test_regions, allows }
     }
 
     /// Is this line inside `#[cfg(test)]` / `#[test]` code?
@@ -196,7 +199,9 @@ fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
 }
 
 /// Recursively collect the workspace's `.rs` files, relative to `root`.
-/// Skips `target/`, VCS metadata, and hidden directories.
+/// Skips `target/`, VCS metadata, hidden directories, and `tests/fixtures`
+/// directories (lint-input corpora whose positive cases are findings on
+/// purpose).
 pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -208,6 +213,10 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             let name = name.to_string_lossy();
             if path.is_dir() {
                 if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                let in_tests = dir.file_name().is_some_and(|d| d == "tests");
+                if name == "fixtures" && in_tests {
                     continue;
                 }
                 stack.push(path);

@@ -1,0 +1,301 @@
+//! Per-function symbol tables and the intraprocedural unit-flow pass.
+//!
+//! [`Env`] maps binding names to inferred [`Dim`]s. It is seeded from a
+//! function's parameters (declared type first, then the naming
+//! convention) and updated at each `let` as [`walk_fn`] advances through
+//! the body in evaluation order. [`dim_of_expr`] evaluates the dimension
+//! of any expression under the current environment, applying the unit
+//! algebra from [`crate::units`].
+//!
+//! The pass is deliberately flow-*insensitive* inside expressions and
+//! scope-flattened across nested blocks (shadowing simply overwrites):
+//! for lint purposes a wrong answer degrades to [`Dim::Unknown`], which
+//! never flags.
+
+use crate::ast::{Block, Expr, ExprKind, Fn, LitKind, Stmt};
+use crate::units::{self, Dim};
+use std::collections::BTreeMap;
+
+/// A flat binding-name → dimension environment.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    map: BTreeMap<String, Dim>,
+}
+
+impl Env {
+    /// Seed an environment from a function's parameters.
+    #[must_use]
+    pub fn for_fn(f: &Fn) -> Env {
+        let mut env = Env::default();
+        for p in &f.params {
+            env.bind(&p.name, binding_dim(Some(&p.ty), None, &p.name, &env));
+        }
+        env
+    }
+
+    /// Record `name` as having dimension `dim`.
+    pub fn bind(&mut self, name: &str, dim: Dim) {
+        self.map.insert(name.to_string(), dim);
+    }
+
+    /// Look up a binding; falls back to the naming convention for names
+    /// never bound in this function (fields, constants, captures).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Dim {
+        self.map.get(name).copied().unwrap_or_else(|| units::dim_of_name(name))
+    }
+}
+
+/// Dimension of a new binding: declared type first (if strong), then
+/// initializer dim, then the naming convention, then whatever weak dim
+/// the type gives (`usize` → unitless).
+fn binding_dim(ty: Option<&str>, init: Option<&Expr>, name: &str, env: &Env) -> Dim {
+    let ty_dim = ty.map(units::dim_of_type).unwrap_or(Dim::Unknown);
+    if ty_dim.is_strong() {
+        return ty_dim;
+    }
+    if let Some(e) = init {
+        let d = dim_of_expr(e, env);
+        if d.is_strong() {
+            return d;
+        }
+    }
+    let name_dim = units::dim_of_name(name);
+    if name_dim.is_strong() {
+        return name_dim;
+    }
+    ty_dim
+}
+
+/// Evaluate the dimension of an expression under `env`.
+#[must_use]
+pub fn dim_of_expr(e: &Expr, env: &Env) -> Dim {
+    match &e.kind {
+        ExprKind::Lit(LitKind::Int | LitKind::Float, _) => Dim::Unitless,
+        ExprKind::Lit(..) => Dim::Unknown,
+        ExprKind::Path(segs) => match segs.as_slice() {
+            [single] => env.lookup(single),
+            [.., last] => units::dim_of_name(last),
+            [] => Dim::Unknown,
+        },
+        ExprKind::Field(recv, name) => {
+            // Newtype payload access (`w.0`) keeps the wrapper's dim;
+            // named fields infer from the field name, then the receiver.
+            if name.chars().all(|c| c.is_ascii_digit()) {
+                dim_of_expr(recv, env)
+            } else {
+                let d = units::dim_of_name(name);
+                if d.is_strong() {
+                    d
+                } else {
+                    Dim::Unknown
+                }
+            }
+        }
+        ExprKind::MethodCall(recv, name, args) => match name.as_str() {
+            // Dimension-preserving accessors and combinators.
+            "value" | "abs" | "round" | "floor" | "ceil" | "clone" | "to_owned" => {
+                dim_of_expr(recv, env)
+            }
+            "min" | "max" | "clamp" => {
+                let rd = dim_of_expr(recv, env);
+                if rd.is_strong() {
+                    rd
+                } else {
+                    args.iter().map(|a| dim_of_expr(a, env)).find(|d| d.is_strong())
+                        .unwrap_or(Dim::Unknown)
+                }
+            }
+            _ => Dim::Unknown,
+        },
+        ExprKind::Call(callee, args) => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                // `Watts::new(x)` / `Watts(x)` / `Watts::ZERO`-style
+                // constructors: any unit newtype segment wins.
+                for seg in segs {
+                    if let Some(d) = units::unit_type(seg) {
+                        return d;
+                    }
+                }
+                // `f64::max(a, b)` and friends preserve a strong arg.
+                if matches!(segs.last().map(String::as_str), Some("max" | "min" | "clamp")) {
+                    return args
+                        .iter()
+                        .map(|a| dim_of_expr(a, env))
+                        .find(|d| d.is_strong())
+                        .unwrap_or(Dim::Unknown);
+                }
+            }
+            Dim::Unknown
+        }
+        ExprKind::Binary(op, a, b) => {
+            let (da, db) = (dim_of_expr(a, env), dim_of_expr(b, env));
+            match op.as_str() {
+                "+" | "-" => units::add_sub(da, db),
+                "*" => units::mul(da, db),
+                "/" => units::div(da, db),
+                "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||" => Dim::Unitless,
+                _ => Dim::Unknown,
+            }
+        }
+        ExprKind::Unary("-", inner) => dim_of_expr(inner, env),
+        ExprKind::Unary(..) => Dim::Unknown,
+        ExprKind::Paren(inner) | ExprKind::Ref(inner) | ExprKind::Try(inner) => {
+            dim_of_expr(inner, env)
+        }
+        ExprKind::Cast(inner, _) => dim_of_expr(inner, env),
+        ExprKind::Index(recv, _) => dim_of_expr(recv, env),
+        ExprKind::If(_, then, els) => {
+            let d = block_tail_dim(then, env);
+            if d.is_strong() {
+                d
+            } else {
+                els.as_ref().map(|e| dim_of_expr(e, env)).unwrap_or(Dim::Unknown)
+            }
+        }
+        ExprKind::BlockExpr(b) => block_tail_dim(b, env),
+        ExprKind::Range(..) => Dim::Unitless,
+        ExprKind::StructLit(segs, _) => {
+            segs.iter().find_map(|s| units::unit_type(s)).unwrap_or(Dim::Unknown)
+        }
+        _ => Dim::Unknown,
+    }
+}
+
+fn block_tail_dim(b: &Block, env: &Env) -> Dim {
+    match b.stmts.last() {
+        Some(Stmt::Tail(e)) => dim_of_expr(e, env),
+        _ => Dim::Unknown,
+    }
+}
+
+/// Walk every expression of a function in evaluation order, threading
+/// the environment through `let` bindings. `cb` sees each *statement
+/// level* expression exactly once, with the env as of that point; rules
+/// recurse further themselves when they need subexpression context.
+pub fn walk_fn(f: &Fn, cb: &mut dyn FnMut(&Expr, &Env)) {
+    let mut env = Env::for_fn(f);
+    walk_block(&f.body, &mut env, cb);
+}
+
+fn walk_block(b: &Block, env: &mut Env, cb: &mut dyn FnMut(&Expr, &Env)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { names, ty, init, .. } => {
+                if let Some(e) = init {
+                    visit_expr(e, env, cb);
+                }
+                match names.as_slice() {
+                    [single] => {
+                        let d = binding_dim(ty.as_deref(), init.as_ref(), single, env);
+                        env.bind(single, d);
+                    }
+                    many => {
+                        // Destructuring: per-name inference only (the
+                        // initializer's dim doesn't split).
+                        for n in many {
+                            env.bind(n, units::dim_of_name(n));
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) | Stmt::Tail(e) => visit_expr(e, env, cb),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Deliver `e` to the callback, then recurse into sub-*blocks* (which
+/// may contain `let`s that must update the env) while leaving plain
+/// subexpressions to the callback's own traversal.
+fn visit_expr(e: &Expr, env: &mut Env, cb: &mut dyn FnMut(&Expr, &Env)) {
+    cb(e, env);
+    match &e.kind {
+        ExprKind::If(_, then, els) => {
+            walk_block(then, env, cb);
+            if let Some(els) = els {
+                visit_expr(els, env, cb);
+            }
+        }
+        ExprKind::Loop(_, body) => walk_block(body, env, cb),
+        ExprKind::BlockExpr(b) => walk_block(b, env, cb),
+        ExprKind::Match(_, arms) => {
+            for arm in arms {
+                visit_expr(arm, env, cb);
+            }
+        }
+        ExprKind::Closure(params, body) => {
+            for p in params {
+                env.bind(p, units::dim_of_name(p));
+            }
+            visit_expr(body, env, cb);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn env_after(src: &str) -> (Fn, Env) {
+        let lexed = lex(src);
+        let mut file = parse(&lexed.tokens);
+        assert!(!file.fns.is_empty(), "no fn in {src:?}");
+        let f = file.fns.remove(0);
+        let mut env = Env::for_fn(&f);
+        walk_block(&f.body, &mut env, &mut |_, _| {});
+        (f, env)
+    }
+
+    #[test]
+    fn params_seed_from_types_and_names() {
+        let (_, env) = env_after("fn f(cap: Watts, share: f64, n: usize) {}");
+        assert_eq!(env.lookup("cap"), Dim::Watts);
+        assert_eq!(env.lookup("share"), Dim::Fraction);
+        assert_eq!(env.lookup("n"), Dim::Unitless);
+    }
+
+    #[test]
+    fn lets_propagate_dimensions() {
+        let (_, env) = env_after(
+            "fn f(budget: Watts, dt: Seconds) {\n\
+             let spent = budget * dt;\n\
+             let rest = budget - budget;\n\
+             let half = rest.value() * 0.5;\n\
+             }",
+        );
+        assert_eq!(env.lookup("spent"), Dim::Joules);
+        assert_eq!(env.lookup("rest"), Dim::Watts);
+        assert_eq!(env.lookup("half"), Dim::Watts);
+    }
+
+    #[test]
+    fn fraction_algebra_and_constructors() {
+        let (_, env) = env_after(
+            "fn f(total: Watts, used: Watts) {\n\
+             let share = used.value() / total.value();\n\
+             let back = Watts::new(total.value() * share);\n\
+             }",
+        );
+        assert_eq!(env.lookup("share"), Dim::Fraction);
+        assert_eq!(env.lookup("back"), Dim::Watts);
+    }
+
+    #[test]
+    fn declared_type_beats_name() {
+        let (_, env) = env_after("fn f() { let budget: Seconds = x; }");
+        assert_eq!(env.lookup("budget"), Dim::Seconds);
+    }
+
+    #[test]
+    fn min_max_preserve_and_casts_keep_dim() {
+        let (_, env) = env_after(
+            "fn f(cap_w: f64) { let safe = cap_w.max(0.0); let mw = (cap_w * 1000.0) as u64; }",
+        );
+        assert_eq!(env.lookup("safe"), Dim::Watts);
+        assert_eq!(env.lookup("mw"), Dim::Watts);
+    }
+}

@@ -1,0 +1,24 @@
+//! counter-drift negative cases: none may produce a finding.
+
+// case: the registry constant is the sanctioned spelling
+pub fn counts() {
+    counter(names::COORD_CPU_FALLBACK).incr();
+}
+
+// case: gauges through the registry too
+pub fn gauges(v: f64) {
+    gauge(names::ONLINE_STEP_W).set(v);
+}
+
+// case: non-metric strings are not metric names
+pub fn formats(x: u32) -> String {
+    format!("value: {x}")
+}
+
+// case: tests may use throwaway metric names
+#[cfg(test)]
+mod tests {
+    fn t() {
+        counter("test.scratch").incr();
+    }
+}

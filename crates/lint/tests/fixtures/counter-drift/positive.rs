@@ -1,0 +1,14 @@
+//! counter-drift positive cases: raw metric-name string literals
+//! outside the `pbc_trace::names` registry.
+
+pub fn counts() {
+    counter("coord.cpu.fallback").incr(); //~ counter-drift
+}
+
+pub fn gauges(v: f64) {
+    gauge("online.step_raw_w").set(v); //~ counter-drift
+}
+
+pub fn spans() {
+    let _s = span("sweep.inner.run"); //~ counter-drift
+}

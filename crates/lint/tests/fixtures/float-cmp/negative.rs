@@ -1,0 +1,24 @@
+//! float-cmp negative cases: none of these may produce a finding.
+
+// case: integer comparison carries no float material
+pub fn ints(n: usize) -> bool {
+    n == 0
+}
+
+// case: explicit rounding makes exact equality well-defined
+pub fn rounded(a: f64, b: f64) -> bool {
+    a.round() == b.round()
+}
+
+// case: the sanctioned helpers replace raw comparison
+pub fn helper(a: f64, b: f64) -> bool {
+    approx_eq(a, b)
+}
+
+// case: test regions are exempt
+#[cfg(test)]
+mod tests {
+    fn t(w: f64) -> bool {
+        w == 0.5
+    }
+}

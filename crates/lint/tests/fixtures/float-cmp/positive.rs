@@ -1,0 +1,19 @@
+//! float-cmp positive cases: exact equality where a float is visible.
+//! Each expected finding is marked `//~ float-cmp` on its line.
+
+pub fn literal_compare(w: f64) -> bool {
+    w == 0.0 //~ float-cmp
+}
+
+pub fn accessor_compare(w: Watts, v: Watts) -> bool {
+    w.value() != v.value() //~ float-cmp
+}
+
+pub fn multiline_compare(a: Watts, b: f64) -> bool {
+    a.value()
+        == b * 2.0 //~ float-cmp
+}
+
+pub fn inside_macro(w: f64) {
+    assert!(w == 0.25); //~ float-cmp
+}

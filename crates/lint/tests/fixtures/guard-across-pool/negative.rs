@@ -1,0 +1,33 @@
+//! guard-across-pool negative cases: none may produce a finding.
+
+// case: the guard is dropped before the pool call
+pub fn dropped_first(state: &Mutex<S>, pool: &Pool) {
+    let g = state.lock().unwrap();
+    g.touch();
+    drop(g);
+    pool.run(4, &job);
+}
+
+// case: the guard lives in an inner scope that ends first
+pub fn inner_scope(state: &Mutex<S>, pool: &Pool) {
+    {
+        let g = state.lock().unwrap();
+        g.touch();
+    }
+    pool.run(4, &job);
+}
+
+// case: locking *inside* the task closure is the sanctioned pattern
+pub fn lock_inside_task(state: &Mutex<S>, pool: &Pool) {
+    pool.run(4, &|i| {
+        let g = state.lock().unwrap();
+        g.set(i);
+    });
+}
+
+// case: a copied-out value is not a guard
+pub fn copies_value(state: &Mutex<S>, pool: &Pool) {
+    let v = *state.lock().unwrap();
+    pool.run(4, &job);
+    consume(v);
+}

@@ -1,0 +1,20 @@
+//! guard-across-pool positive cases: lock guards live across pool
+//! calls that may execute inline when nested.
+
+pub fn mutex_held(state: &Mutex<S>, pool: &Pool) {
+    let g = state.lock().unwrap();
+    pool.run(4, &job); //~ guard-across-pool
+    g.touch();
+}
+
+pub fn rwlock_held(rw_lock: &RwLock<S>, pool: &Pool) {
+    let r = rw_lock.read().unwrap();
+    pool.run_wrapped(4, &job); //~ guard-across-pool
+    r.touch();
+}
+
+pub fn field_pool(slots: &Mutex<S>, ctx: &Ctx) {
+    let guard = slots.lock().unwrap();
+    ctx.worker_pool.run(2, &job); //~ guard-across-pool
+    guard.touch();
+}

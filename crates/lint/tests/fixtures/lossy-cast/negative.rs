@@ -1,0 +1,21 @@
+//! lossy-cast negative cases: none of these may produce a finding.
+
+// case: integer widening is lossless
+pub fn widens(n: u32) -> usize {
+    n as usize
+}
+
+// case: casting *to* f64 keeps the precision
+pub fn to_f64(n: usize) -> f64 {
+    n as f64 * 2.0
+}
+
+// case: explicit rounding sanctions the cast (the rule's own advice)
+pub fn rounded(w: Watts) -> u64 {
+    (w.value() * 1e6).round() as u64
+}
+
+// case: explicit floor documents round-down intent
+pub fn floored(n: usize) -> usize {
+    (n as f64).sqrt().floor() as usize
+}

@@ -1,0 +1,20 @@
+//! lossy-cast positive cases: unit-carrying f64 values truncated by
+//! `as` without explicit rounding.
+
+pub fn scaled(w: Watts) -> u64 {
+    (w.value() * 1e6) as u64 //~ lossy-cast
+}
+
+pub fn newtype_field(w: Watts) -> usize {
+    w.0 as usize //~ lossy-cast
+}
+
+pub fn narrowed(x: f64) -> f32 {
+    (x * 100.0) as f32 //~ lossy-cast
+}
+
+pub fn multiline(w: Watts) -> u64 {
+    (w.value()
+        * 1e6)
+        as u64 //~ lossy-cast
+}

@@ -1,0 +1,17 @@
+//! missing-must-use negative cases: none of these may produce a finding.
+
+// case: already annotated
+#[must_use = "the outcome carries the failure"]
+pub fn solve(x: u32) -> Result<u32, Error> {
+    Ok(x)
+}
+
+// case: private helpers are not API surface
+fn helper(x: u32) -> Result<u32, Error> {
+    Ok(x)
+}
+
+// case: non-Result returns need no annotation
+pub fn ratio(a: f64, b: f64) -> f64 {
+    a / b
+}

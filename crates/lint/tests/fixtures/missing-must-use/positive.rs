@@ -1,0 +1,14 @@
+//! missing-must-use positive cases: public fallible APIs whose Result
+//! can be silently dropped.
+
+pub fn solve(x: u32) -> Result<u32, Error> { //~ missing-must-use
+    Ok(x)
+}
+
+pub fn load(path: &str) -> Result<String, Error> { //~ missing-must-use
+    read(path)
+}
+
+pub fn check_all(xs: &[u32]) -> Result<(), Error> { //~ missing-must-use
+    xs.iter().try_for_each(check_one)
+}

@@ -1,0 +1,19 @@
+//! no-println negative cases: none of these may produce a finding.
+
+// case: building output through the report layer
+pub fn collects(out: &mut String) {
+    out.push_str("status");
+}
+
+// case: writeln! targets a buffer, not stdout
+pub fn buffered(buf: &mut String) {
+    writeln!(buf, "x").ok();
+}
+
+// case: tests may print for debugging
+#[cfg(test)]
+mod tests {
+    fn t() {
+        println!("dbg");
+    }
+}

@@ -1,0 +1,13 @@
+//! no-println positive cases: direct terminal output from library code.
+
+pub fn status() {
+    println!("status"); //~ no-println
+}
+
+pub fn partial(x: u32) {
+    print!("{x}"); //~ no-println
+}
+
+pub fn complains() {
+    eprintln!("oops"); //~ no-println
+}

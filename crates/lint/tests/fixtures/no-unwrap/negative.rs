@@ -1,0 +1,24 @@
+//! no-unwrap negative cases: none of these may produce a finding.
+
+// case: `?` propagation is the sanctioned path
+pub fn propagates(r: Result<u32, Error>) -> Result<u32, Error> {
+    Ok(r? + 1)
+}
+
+// case: unwrap_or provides a fallback, it cannot panic
+pub fn fallback(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}
+
+// case: an identifier merely named `expect` is not a call
+pub fn named(expect: u32) -> u32 {
+    expect + 1
+}
+
+// case: tests may unwrap freely
+#[cfg(test)]
+mod tests {
+    fn t(r: Result<u32, ()>) -> u32 {
+        r.unwrap()
+    }
+}

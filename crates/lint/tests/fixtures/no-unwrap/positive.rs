@@ -1,0 +1,16 @@
+//! no-unwrap positive cases: panicking escape hatches in library code.
+
+pub fn unwraps(r: Result<u32, Error>) -> u32 {
+    r.unwrap() //~ no-unwrap
+}
+
+pub fn expects(r: Result<u32, Error>) -> u32 {
+    r.expect("present") //~ no-unwrap
+}
+
+pub fn panics(x: u32) -> u32 {
+    if x > 3 {
+        panic!("too big"); //~ no-unwrap
+    }
+    x
+}

@@ -1,0 +1,29 @@
+//! unchecked-budget-arith negative cases: none may produce a finding.
+
+// case: floored on the expression path
+pub fn floored(budget: f64, used: f64) -> f64 {
+    (budget - used).max(0.0)
+}
+
+// case: guarded by the enclosing condition
+pub fn guarded(budget: f64, used: f64) -> f64 {
+    if used <= budget {
+        budget - used
+    } else {
+        0.0
+    }
+}
+
+// case: an early-return guard covers the fallthrough path
+pub fn early_return(budget: f64, min: f64, used: f64) -> f64 {
+    if budget < min {
+        return 0.0;
+    }
+    budget - used
+}
+
+// case: the binding is floored later in the same block
+pub fn later(budget: f64, used: f64) -> f64 {
+    let rest = budget - used;
+    rest.max(0.0)
+}

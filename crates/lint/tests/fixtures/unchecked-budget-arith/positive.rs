@@ -1,0 +1,16 @@
+//! unchecked-budget-arith positive cases: budget subtractions with no
+//! floor or guard on the result path.
+
+pub fn bare(budget: f64, used: f64) -> f64 {
+    budget - used //~ unchecked-budget-arith
+}
+
+pub fn compound(mut budget: f64, x: f64) -> f64 {
+    budget -= x; //~ unchecked-budget-arith
+    budget
+}
+
+pub fn let_bound(budget_w: f64, spent: f64) -> f64 {
+    let rest = budget_w - spent; //~ unchecked-budget-arith
+    rest * 2.0
+}

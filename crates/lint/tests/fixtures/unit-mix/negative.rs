@@ -1,0 +1,21 @@
+//! unit-mix negative cases: none of these may produce a finding.
+
+// case: same dimension on both sides
+pub fn same_dim(a_w: f64, b_w: f64) -> f64 {
+    a_w + b_w
+}
+
+// case: scaling by a fraction preserves the dimension
+pub fn scaled(budget: Watts, share_frac: f64) -> bool {
+    budget.value() * share_frac < budget.value()
+}
+
+// case: derived dimension — joules per second is watts
+pub fn derived(energy_j: f64, elapsed_s: f64, power_w: f64) -> f64 {
+    energy_j / elapsed_s + power_w
+}
+
+// case: unitless counters never participate
+pub fn counters(n: usize, k: usize) -> bool {
+    n + k > 10
+}

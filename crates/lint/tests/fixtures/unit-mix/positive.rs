@@ -1,0 +1,13 @@
+//! unit-mix positive cases: arithmetic/comparison across dimensions.
+
+pub fn adds_power_to_energy(power_w: f64, energy_j: f64) -> f64 {
+    power_w + energy_j //~ unit-mix
+}
+
+pub fn compares_watts_to_seconds(budget: Watts, duration_s: f64) -> bool {
+    budget.value() < duration_s //~ unit-mix
+}
+
+pub fn subtracts_watts_from_hertz(freq_hz: f64, power_w: f64) -> f64 {
+    freq_hz - power_w //~ unit-mix
+}

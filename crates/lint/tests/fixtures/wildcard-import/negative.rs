@@ -1,0 +1,18 @@
+//! wildcard-import negative cases: none of these may produce a finding.
+
+// case: explicit single import
+use std::collections::BTreeMap;
+// case: grouped explicit imports
+use crate::units::{Dim, Watts};
+// case: a prelude-style re-export is deliberate API surface
+pub use crate::prelude::*;
+
+pub fn f(m: &BTreeMap<Dim, Watts>) -> usize {
+    m.len()
+}
+
+// case: test modules may glob their parent
+#[cfg(test)]
+mod tests {
+    use super::*;
+}

@@ -1,0 +1,9 @@
+//! wildcard-import positive cases: glob imports in non-test code.
+
+use std::collections::*; //~ wildcard-import
+use crate::units::*; //~ wildcard-import
+use super::helpers::*; //~ wildcard-import
+
+pub fn f() -> u32 {
+    0
+}

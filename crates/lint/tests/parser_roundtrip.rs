@@ -1,0 +1,52 @@
+//! Parser span fidelity over the real workspace: for every parsed
+//! function in every `.rs` file, the source slice reconstructed from
+//! the AST span must re-lex to exactly the original token sequence.
+//! This is the property the AST rules depend on when they report at
+//! operator/`as` tokens computed from operand spans.
+
+use pbc_lint::lexer::lex;
+use pbc_lint::{ast, find_workspace_root, SourceFile};
+
+#[test]
+fn fn_spans_relex_to_the_same_tokens() {
+    let here = std::env::current_dir().expect("cwd");
+    let root = find_workspace_root(&here).expect("workspace root");
+    let files = pbc_lint::source::collect_rs_files(&root).expect("collect files");
+    assert!(files.len() > 50, "suspiciously few files");
+    let mut fns_checked = 0usize;
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let rel = pbc_lint::source::rel_path(&root, &path);
+        let sf = SourceFile::parse(&rel, &src);
+        for f in &sf.ast.fns {
+            let slice = ast::span_text(&src, &sf.tokens, f.span);
+            assert!(!slice.is_empty(), "{rel}: empty span text for fn `{}`", f.name);
+            let relexed = lex(&slice).tokens;
+            let original = &sf.tokens[f.span.lo..=f.span.hi];
+            assert_eq!(
+                relexed.len(),
+                original.len(),
+                "{rel}: fn `{}` re-lexed to {} tokens, expected {}",
+                f.name,
+                relexed.len(),
+                original.len()
+            );
+            for (a, b) in relexed.iter().zip(original) {
+                assert_eq!(
+                    (a.kind, a.text.as_str()),
+                    (b.kind, b.text.as_str()),
+                    "{rel}: fn `{}` token diverged",
+                    f.name
+                );
+            }
+            fns_checked += 1;
+        }
+        // The parser is total: it may skip tokens as opaque, but never
+        // more than the file holds.
+        assert!(
+            sf.ast.opaque_tokens <= sf.tokens.len(),
+            "{rel}: opaque count exceeds token count"
+        );
+    }
+    assert!(fns_checked > 500, "only {fns_checked} fns checked — parser regressed?");
+}

@@ -104,6 +104,7 @@ impl CpuSpec {
 
     /// Validate internal consistency; used by tests and by `Platform`
     /// constructors.
+    #[must_use = "validation reports spec inconsistencies via Err"]
     pub fn validate(&self) -> Result<(), String> {
         if self.sockets == 0 || self.cores_per_socket == 0 {
             return Err("CPU must have at least one socket and core".into());

@@ -108,6 +108,7 @@ impl DramSpec {
     }
 
     /// Validate internal consistency.
+    #[must_use = "validation reports spec inconsistencies via Err"]
     pub fn validate(&self) -> Result<(), String> {
         if self.capacity_gb == 0 {
             return Err("memory capacity must be positive".into());

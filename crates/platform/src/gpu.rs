@@ -195,6 +195,7 @@ impl GpuSpec {
     }
 
     /// Validate internal consistency.
+    #[must_use = "validation reports spec inconsistencies via Err"]
     pub fn validate(&self) -> Result<(), String> {
         if self.sm_count == 0 {
             return Err("GPU must have at least one SM".into());

@@ -132,6 +132,7 @@ impl Platform {
     }
 
     /// Validate all component specs.
+    #[must_use = "validation reports spec inconsistencies via Err"]
     pub fn validate(&self) -> Result<(), String> {
         match &self.spec {
             NodeSpec::Cpu { cpu, dram } => {

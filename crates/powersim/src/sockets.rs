@@ -199,7 +199,12 @@ pub fn coordinate_sockets(
     let steps = 40;
     for k in 0..=steps {
         let f = k as f64 / steps as f64;
+        // The two caps sum to `proc_budget` by construction; a budget
+        // below twice the socket floor yields caps that
+        // `solve_per_socket` rejects, rather than being masked here.
+        // pbc-lint: allow(unchecked-budget-arith)
         let c0 = (proc_budget * f).max(floor).min(proc_budget - floor);
+        // pbc-lint: allow(unchecked-budget-arith)
         let caps = [c0, proc_budget - c0];
         let op = solve_per_socket(cpu, dram, demand, &caps, mem_cap, shares)?;
         if best.as_ref().map(|b| op.perf_rel > b.perf_rel).unwrap_or(true) {

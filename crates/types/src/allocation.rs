@@ -182,6 +182,9 @@ impl AllocationSpace {
         };
         (0..n).map(move |i| {
             let proc = lo + i as f64 * step;
+            // `proc <= hi <= budget - mem_min`, enforced by the `hi >= lo`
+            // feasibility gate above, so the remainder stays in range.
+            // pbc-lint: allow(unchecked-budget-arith)
             PowerAllocation::new(Watts::new(proc), Watts::new(self.budget.value() - proc))
         })
     }

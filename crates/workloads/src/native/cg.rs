@@ -156,7 +156,7 @@ fn cg_solve(a: &Csr, threads: usize, max_iters: usize, tol: f64) -> (usize, f64,
 /// Run the CG solver; `config.size` is the unknown count (rounded to a
 /// square). Reports GFLOP/s.
 pub fn run(config: &KernelConfig) -> KernelResult {
-    let side = (config.size.max(64) as f64).sqrt() as usize;
+    let side = (config.size.max(64) as f64).sqrt().floor() as usize;
     let a = laplacian(side);
     let start = Instant::now();
     let mut total_flops = 0.0;

@@ -119,7 +119,7 @@ fn pdv(state: &mut State, dt: f64, threads: usize) {
 /// Run hydro steps; `config.size` is the total cell count (rounded to a
 /// square grid). Reports GFLOP/s.
 pub fn run(config: &KernelConfig) -> KernelResult {
-    let side = (config.size.max(256) as f64).sqrt() as usize;
+    let side = (config.size.max(256) as f64).sqrt().floor() as usize;
     let mut state = State::new(side, side);
     let steps = 4 * config.iterations.max(1);
     let start = Instant::now();

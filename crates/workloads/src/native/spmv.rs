@@ -79,7 +79,7 @@ fn spmv(a: &Csr, x: &[f64], y: &mut [f64], threads: usize) {
 /// Run repeated SpMV; `config.size` is the total unknowns (rounded to a
 /// square). Reports GFLOP/s.
 pub fn run(config: &KernelConfig) -> KernelResult {
-    let side = (config.size.max(64) as f64).sqrt() as usize;
+    let side = (config.size.max(64) as f64).sqrt().floor() as usize;
     let a = laplacian(side);
     let mut x: Vec<f64> = (0..a.n).map(|i| 1.0 + (i % 13) as f64 * 0.1).collect();
     let mut y = vec![0.0f64; a.n];

@@ -10,7 +10,7 @@ use std::time::Instant;
 /// Run stencil sweeps; `config.size` is the total number of grid points
 /// (rounded down to a cube). Reports GFLOP/s.
 pub fn run(config: &KernelConfig) -> KernelResult {
-    let edge = ((config.size.max(512)) as f64).cbrt() as usize;
+    let edge = ((config.size.max(512)) as f64).cbrt().floor() as usize;
     let edge = edge.max(8);
     let n = edge * edge * edge;
     let mut a: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.3).collect();

@@ -16,9 +16,18 @@ cargo test -q
 echo "==> workspace tests (every crate, including the pbc-lint suite)"
 cargo test -q --workspace
 
-echo "==> pbc-lint gate (lint-baseline.toml ratchet)"
-cargo run -q -p pbc-lint -- --format json > target/pbc-lint-report.json
-echo "    report: target/pbc-lint-report.json"
+echo "==> pbc-lint gate (lint-baseline.toml ratchet; <10s budget)"
+# Build untimed, then time only the scan itself. A full-workspace scan
+# that creeps past 10 seconds means the AST/dataflow passes regressed.
+cargo build -q --release -p pbc-lint
+lint_start=$(date +%s)
+cargo run -q --release -p pbc-lint -- --format json > target/pbc-lint-report.json
+lint_secs=$(( $(date +%s) - lint_start ))
+echo "    report: target/pbc-lint-report.json (${lint_secs}s)"
+if [ "$lint_secs" -ge 10 ]; then
+    echo "error: pbc-lint took ${lint_secs}s; the full-workspace budget is <10s" >&2
+    exit 1
+fi
 
 echo "==> dependency audit: workspace must be self-contained"
 # `cargo tree` prints one line per dependency edge; every crate in this
