@@ -20,6 +20,9 @@ USAGE:
                                         sweep with scenario labels (CPU)
   pbc online    -p PLATFORM -w BENCH -b WATTS
                                         model-free online coordination
+  pbc fastpath  -p PLATFORM -w BENCH -b W1,W2,...
+                                        table-served allocations per
+                                        budget (steady-state fast path)
   pbc corun     -p PLATFORM -w A,B -b WATTS
                                         coordinate two co-running jobs
   pbc hybrid    --host CPU --card GPU --host-bench X --gpu-bench Y
@@ -263,6 +266,15 @@ fn run(argv: &[String]) -> Result<String, String> {
                 &need(a.platform, "-p PLATFORM")?,
                 &need(a.bench, "-w BENCH")?,
                 need(a.budget, "-b WATTS")?,
+            )
+            .map_err(e)
+        }
+        "fastpath" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_fastpath(
+                &need(a.platform, "-p PLATFORM")?,
+                &need(a.bench, "-w BENCH")?,
+                &need(a.budgets, "-b W1,W2,...")?,
             )
             .map_err(e)
         }

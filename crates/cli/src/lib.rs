@@ -13,13 +13,14 @@
 //! pbc sweep      -p ivybridge -w sra -b 240 [--save profile.csv]
 //! pbc scenarios  -p ivybridge -w sra -b 240
 //! pbc online     -p ivybridge -w stream -b 208
+//! pbc fastpath   -p ivybridge -w stream -b 180,196,208
 //! pbc rapl-status               # real hardware (Intel powercap)
 //! ```
 
 use pbc_core::{
     classify_cpu_point, coord_cpu, coord_gpu, coordinate_hybrid, sweep_budget, sweep_curve,
-    workload_report, CoordStatus, CriticalPowers, GpuCoordParams, HybridWorkload, OnlineConfig,
-    OnlineCoordinator, PowerBoundedProblem, DEFAULT_STEP,
+    workload_report, CoordStatus, CriticalPowers, CurveTable, GpuCoordParams, HybridWorkload,
+    OnlineConfig, OnlineCoordinator, PowerBoundedProblem, WarmOracle, DEFAULT_STEP,
 };
 use pbc_powersim::coordinate_corun;
 use pbc_platform::{presets, NodeSpec, Platform, PlatformId};
@@ -287,6 +288,62 @@ pub fn cmd_curve(platform_slug: &str, bench_slug: &str, budgets: &[f64]) -> Resu
             }
         }
     }
+    Ok(out)
+}
+
+/// `pbc fastpath -p <platform> -w <bench> -b <w1,w2,...>` — the
+/// steady-state serving path: build (or fetch) the class's shared
+/// interpolation table, then answer every requested budget off it —
+/// alongside a warm-start incremental re-solve of the same trajectory,
+/// so the table-served split and the exact oracle optimum are visible
+/// side by side.
+#[must_use = "the rendered fast-path summary is the command's entire output"]
+pub fn cmd_fastpath(platform_slug: &str, bench_slug: &str, budgets: &[f64]) -> Result<String> {
+    let p = platform(platform_slug)?;
+    let b = benchmark(bench_slug)?;
+    validate_budget_list(budgets)?;
+    let table = CurveTable::shared(&p, &b.demand)?;
+    let problem = PowerBoundedProblem::new(p, b.demand.clone(), Watts::new(budgets[0]))?;
+    let mut oracle = WarmOracle::new(&problem, DEFAULT_STEP);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "class table: floor {:.1} W, ceiling {:.1} W, {} rungs of {:.1} W",
+        table.floor.value(),
+        table.ceiling().value(),
+        table.perf.len(),
+        table.step.value()
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>11} {:>10} {:>12} {:>11} {:>10}",
+        "P_b (W)", "table proc", "table mem", "tbl perf", "warm proc", "warm mem", "warm perf"
+    );
+    for &w in budgets {
+        let budget = Watts::new(w);
+        let served = table.alloc_at(budget);
+        let warm = oracle.solve(budget)?;
+        let fmt_alloc = |a: Option<(f64, f64, f64)>| match a {
+            Some((proc, mem, perf)) => format!("{proc:>12.1} {mem:>11.1} {perf:>10.3}"),
+            None => format!("{:>12} {:>11} {:>10}", "-", "-", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "{:>10.1} {} {}",
+            w,
+            fmt_alloc(served.map(|a| (a.proc.value(), a.mem.value(), table.perf_at(budget)))),
+            fmt_alloc(warm.map(|pt| (pt.alloc.proc.value(), pt.alloc.mem.value(), pt.op.perf_rel))),
+        );
+    }
+    let counters = pbc_trace::snapshot().counters;
+    let read = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "served: {} table hits, {} warm re-solves, {} table builds this process",
+        read(pbc_trace::names::FASTPATH_TABLE_HITS),
+        read(pbc_trace::names::SOLVE_WARM_HITS),
+        read(pbc_trace::names::FASTPATH_TABLE_REBUILDS)
+    );
     Ok(out)
 }
 
@@ -641,6 +698,21 @@ mod tests {
         assert!(gout.contains("not schedulable"), "{gout}");
         // And an empty budget list is a typed error.
         assert!(cmd_curve("ivybridge", "sra", &[]).is_err());
+    }
+
+    #[test]
+    fn fastpath_renders_table_and_warm_columns() {
+        let out = cmd_fastpath("ivybridge", "stream", &[180.0, 208.0, 40.0]).unwrap();
+        assert!(out.contains("class table: floor"), "{out}");
+        // Header + 3 budget rows + table line + counter line.
+        assert_eq!(out.lines().count(), 6, "{out}");
+        // A budget below the class floor renders as unserved, not an error.
+        let dash_row = out.lines().find(|l| l.trim_start().starts_with("40.0")).unwrap();
+        assert!(dash_row.contains('-'), "{out}");
+        assert!(out.contains("table hits"), "{out}");
+        // Empty and non-finite budget lists are typed errors.
+        assert!(cmd_fastpath("ivybridge", "stream", &[]).is_err());
+        assert!(cmd_fastpath("ivybridge", "stream", &[f64::NAN]).is_err());
     }
 
     #[test]

@@ -1,151 +1,31 @@
 //! Per-node performance~budget curves — the marginal-utility signal the
 //! water-filling partitioner redistributes on.
 //!
-//! A [`PerfCurve`] samples `perf_max(P_b)` for one `(platform, workload)`
-//! class on a regular budget ladder from the node's floor to its
-//! saturation ceiling. The samples come from the shared-grid oracle
-//! ([`pbc_core::sweep_curve_with_pool`]): every ladder budget's sweep
-//! runs as one pooled job over the union grid through the class's
-//! [`pbc_powersim::SolveMemo`], so profiling a class costs one sweep, not
-//! one per ladder rung — and the samples are bit-identical regardless of
-//! thread count, which is what makes cluster partitions replayable.
+//! The curve type itself now lives in the core crate as
+//! [`pbc_core::fastpath::CurveTable`]: the cluster water-filler and the
+//! single-node steady-state fast path interpolate the *same* table (one
+//! shared-grid oracle pass per class, bit-identical regardless of thread
+//! count), so there is exactly one `perf_max ~ P_b` representation in
+//! the workspace. This module re-exports it under its historical cluster
+//! name, along with the class floor/ceiling helpers the partitioner
+//! uses to bound shares.
 //!
 //! Between samples the curve interpolates linearly. §3.1 of the paper
 //! shows `perf_max ~ P_b` is monotone non-decreasing and concave-ish
 //! (steep while a component is starved, flat past the demand point), so
 //! piecewise-linear interpolation preserves exactly the structure the
 //! water-filling pass needs: marginal gain per granted watt that shrinks
-//! as a node approaches its flattening point.
+//! as a node approaches its flattening point. On top of the perf
+//! samples, the shared table carries the oracle's best *allocation* per
+//! rung, so a share granted by the water-filler can be turned into
+//! component caps without a solve (see `pbc_core::fastpath`).
 
-use pbc_core::{sweep_curve_with_pool, PowerBoundedProblem, DEFAULT_STEP};
-use pbc_core::CriticalPowers;
-use pbc_par::Pool;
-use pbc_platform::{NodeSpec, Platform};
-use pbc_powersim::WorkloadDemand;
-use pbc_types::{PbcError, Result, Watts};
+pub use pbc_core::fastpath::{node_ceiling, node_floor, CurveTable as PerfCurve};
+use pbc_types::Watts;
 
-/// Budget spacing of the curve samples. Coarser than the 4 W sweep grid
-/// — the curve only has to rank marginal gains, not pick allocations.
-pub const SAMPLE_STEP: Watts = Watts::new(8.0);
-
-/// The smallest node budget this class can run on: the platform's
-/// hardware floor, raised to the workload's COORD minimum (regime D's
-/// `P_cpu,L4 + P_mem,L3` boundary on hosts, the minimum settable card
-/// cap on GPUs). A water-filling share at or above this floor is
-/// guaranteed to coordinate and solve.
-#[must_use]
-pub fn node_floor(platform: &Platform, demand: &WorkloadDemand) -> Watts {
-    let floor = platform.min_node_power();
-    match &platform.spec {
-        NodeSpec::Cpu { cpu, dram } => {
-            let c = CriticalPowers::probe(cpu, dram, demand);
-            floor.max(c.cpu_l4 + c.mem_l3)
-        }
-        NodeSpec::Gpu(g) => floor.max(g.min_card_cap),
-    }
-}
-
-/// The budget past which this class stops gaining: full component demand
-/// on hosts, the maximum settable card cap on GPUs. Watts granted past
-/// the ceiling are stranded (§2.1 RQ4's "acceptable band" upper edge).
-#[must_use]
-pub fn node_ceiling(platform: &Platform, demand: &WorkloadDemand) -> Watts {
-    match &platform.spec {
-        NodeSpec::Cpu { cpu, dram } => {
-            let c = CriticalPowers::probe(cpu, dram, demand);
-            c.max_demand()
-        }
-        NodeSpec::Gpu(g) => g.max_card_cap,
-    }
-}
-
-/// A sampled, piecewise-linear `perf_max ~ P_b` curve for one node
-/// class.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PerfCurve {
-    /// Budget of the first sample (the class floor).
-    pub floor: Watts,
-    /// Spacing between samples.
-    pub step: Watts,
-    /// `perf[k]` = oracle `perf_max` at `floor + k * step`.
-    pub perf: Vec<f64>,
-}
-
-impl PerfCurve {
-    /// Profile a class on the global pool.
-    #[must_use = "the curve result carries either the samples or the solver failure"]
-    pub fn profile(platform: &Platform, demand: &WorkloadDemand) -> Result<PerfCurve> {
-        Self::profile_with_pool(platform, demand, Pool::global())
-    }
-
-    /// Profile a class on an explicit pool (the determinism property
-    /// tests pin the executor count; production code wants
-    /// [`PerfCurve::profile`]).
-    #[must_use = "the curve result carries either the samples or the solver failure"]
-    pub fn profile_with_pool(
-        platform: &Platform,
-        demand: &WorkloadDemand,
-        pool: &Pool,
-    ) -> Result<PerfCurve> {
-        let floor = node_floor(platform, demand);
-        let ceiling = node_ceiling(platform, demand).max(floor + SAMPLE_STEP);
-        let mut ladder = Vec::new();
-        let mut b = floor;
-        while b < ceiling {
-            ladder.push(b);
-            b = b + SAMPLE_STEP;
-        }
-        ladder.push(ceiling);
-        let problem = PowerBoundedProblem::new(platform.clone(), demand.clone(), ladder[0])?;
-        let profiles = sweep_curve_with_pool(&problem, &ladder, DEFAULT_STEP, pool)?;
-        // An empty profile means the budget is not schedulable (GPU
-        // budgets below the settable cap range); `perf_max()` reports it
-        // as 0.0, which is exactly the marginal signal we want.
-        let perf: Vec<f64> = profiles.iter().map(|p| p.perf_max()).collect();
-        if perf.iter().any(|v| !v.is_finite()) {
-            return Err(PbcError::InvalidInput(format!(
-                "non-finite perf sample while profiling {}",
-                platform.id
-            )));
-        }
-        Ok(PerfCurve { floor, step: SAMPLE_STEP, perf })
-    }
-
-    /// The last sampled budget; grants past it gain nothing.
-    #[must_use]
-    pub fn ceiling(&self) -> Watts {
-        // The final rung is pinned to the class ceiling, which is not in
-        // general a whole number of steps past the floor; the index
-        // arithmetic below saturates there, so reporting the regular
-        // grid position keeps `perf_at` and `ceiling` consistent.
-        self.floor + self.step * (self.perf.len().saturating_sub(1) as f64)
-    }
-
-    /// Interpolated oracle performance at budget `b`: 0 below the floor
-    /// (the class cannot run), clamped flat past the ceiling (stranded
-    /// watts gain nothing).
-    #[must_use]
-    pub fn perf_at(&self, b: Watts) -> f64 {
-        if self.perf.is_empty() || b < self.floor {
-            return 0.0;
-        }
-        let offset = (b - self.floor).value() / self.step.value();
-        let k = offset.floor() as usize;
-        if k + 1 >= self.perf.len() {
-            return *self.perf.last().unwrap_or(&0.0);
-        }
-        let frac = offset - k as f64;
-        self.perf[k] + (self.perf[k + 1] - self.perf[k]) * frac
-    }
-
-    /// The marginal performance of granting `grant` more watts to a node
-    /// currently holding `share` — the quantity the water-filling pass
-    /// maximizes per quantum.
-    #[must_use]
-    pub fn marginal_gain(&self, share: Watts, grant: Watts) -> f64 {
-        self.perf_at(share + grant) - self.perf_at(share)
-    }
-}
+/// Budget spacing of the curve samples — the core table step. Coarser
+/// than the 4 W sweep grid: the curve only has to rank marginal gains.
+pub const SAMPLE_STEP: Watts = pbc_core::fastpath::TABLE_STEP;
 
 #[cfg(test)]
 mod tests {
@@ -202,5 +82,19 @@ mod tests {
         let flat = curve.marginal_gain(curve.ceiling(), grant);
         assert!(steep > flat, "gain at the floor {steep} must beat gain at the ceiling {flat}");
         assert!(flat.abs() < 1e-9);
+    }
+
+    /// The cluster curve and the core fast-path table are literally the
+    /// same type: a share granted by the water-filler can be served as
+    /// component caps straight off the profile the partitioner already
+    /// holds.
+    #[test]
+    fn water_fill_shares_are_servable_as_allocations() {
+        let p = ivybridge();
+        let d = by_name("sra").unwrap().demand;
+        let curve = PerfCurve::profile(&p, &d).unwrap();
+        let share = curve.floor + Watts::new(30.0);
+        let alloc = curve.alloc_at(share).expect("in-range share must serve");
+        assert!(alloc.total().value() <= share.value() + 1e-9);
     }
 }

@@ -131,10 +131,12 @@ mod tests {
             perf.push(rise * k as f64);
         }
         perf.push(rise * (rungs.saturating_sub(1)) as f64);
+        let allocs = vec![None; perf.len()];
         PerfCurve {
             floor: Watts::new(floor),
             step: Watts::new(8.0),
             perf,
+            allocs,
         }
     }
 

@@ -10,6 +10,10 @@ use pbc_powersim::SolveMemo;
 use pbc_types::{Domain, PowerAllocation, Result, Watts};
 
 /// One point of a `perf_max ~ P_b` curve (Fig. 2 / Fig. 6).
+///
+/// This is the *exact* characterization: every point is a full-sweep
+/// optimum. For the steady-state serving path that answers the same
+/// question by interpolation, see [`crate::fastpath::CurveTable`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CurvePoint {
@@ -21,6 +25,20 @@ pub struct CurvePoint {
     pub best_alloc: PowerAllocation,
     /// Actual total power drawn at the optimum.
     pub actual_power: Watts,
+}
+
+impl CurvePoint {
+    /// The best point of a swept profile as a curve sample, or `None`
+    /// when no allocation was feasible at the profile's budget.
+    #[must_use]
+    pub fn from_profile(profile: &crate::profile::SweepProfile) -> Option<Self> {
+        profile.best().map(|best| CurvePoint {
+            budget: profile.budget,
+            perf_max: best.op.perf_rel,
+            best_alloc: best.alloc,
+            actual_power: best.op.total_power(),
+        })
+    }
 }
 
 /// Sweep a range of budgets and return the upper performance bound at
@@ -37,18 +55,7 @@ pub fn perf_max_curve(
 ) -> Result<Vec<CurvePoint>> {
     let budgets: Vec<Watts> = budgets.into_iter().collect();
     let profiles = sweep_curve(problem_template, &budgets, step)?;
-    let mut out = Vec::with_capacity(profiles.len());
-    for profile in &profiles {
-        if let Some(best) = profile.best() {
-            out.push(CurvePoint {
-                budget: profile.budget,
-                perf_max: best.op.perf_rel,
-                best_alloc: best.alloc,
-                actual_power: best.op.total_power(),
-            });
-        }
-    }
-    Ok(out)
+    Ok(profiles.iter().filter_map(CurvePoint::from_profile).collect())
 }
 
 /// Find the budget beyond which `perf_max` stops improving (within

@@ -31,6 +31,7 @@
 //! | [`efficiency`]| §2.1 RQ4 | acceptable budget bands, perf-per-watt curves, stranded power |
 //! | [`schedule`] | §8 | a power-pool scheduler built on COORD (the "upper level" the conclusion calls for) |
 //! | [`online`]   | §5 future work | model-free feedback coordinator (online dynamic budgeting) |
+//! | [`fastpath`] | §5 future work | steady-state serving: warm-start re-solves, lock-free curve tables, batched queries |
 //! | [`model`]    | §7 (vs [34]) | closed-form piecewise performance predictor from critical values |
 //! | [`hybrid`]   | §2.2 future work | host+card budget coordination for offload applications |
 
@@ -39,6 +40,7 @@ pub mod baselines;
 pub mod coord;
 pub mod critical;
 pub mod efficiency;
+pub mod fastpath;
 pub mod hybrid;
 pub mod model;
 pub mod online;
@@ -55,6 +57,10 @@ pub use baselines::{oracle, AllocationPolicy, Baseline, CpuPolicy, GpuPolicy};
 pub use coord::{coord_cpu, coord_gpu, CoordResult, CoordStatus, GpuCoordParams};
 pub use critical::CriticalPowers;
 pub use efficiency::{efficiency_curve, most_efficient_budget, AcceptableRange, BudgetVerdict, EfficiencyPoint};
+pub use fastpath::{
+    node_ceiling, node_floor, solve_batch, solve_batch_with_pool, CurveTable, WarmOracle,
+    TABLE_STEP,
+};
 pub use hybrid::{coordinate_hybrid, solve_hybrid_split, HybridPoint, HybridWorkload};
 pub use model::PiecewiseModel;
 pub use online::{BudgetOutcome, ObservationOutcome, OnlineConfig, OnlineCoordinator};

@@ -17,9 +17,21 @@
 //! slack (scenario II's memory, scenario III's CPU) — shift watts away
 //! from the slack toward the constrained side first.
 
+use crate::fastpath::CurveTable;
 use pbc_powersim::NodeOperatingPoint;
 use pbc_trace::names;
-use pbc_types::{PowerAllocation, Watts};
+use pbc_types::{PowerAllocation, Watts, CAP_QUANTUM};
+use std::sync::Arc;
+
+/// How far an observed component cap may sit from the issued probe
+/// before the sample is judged stale. The enforcement layer writes RAPL
+/// limits as integer microwatts ([`CAP_QUANTUM`]), so a faithfully
+/// enforced cap can still read back up to one quantum off the request;
+/// anything wider means the node is running on different caps than the
+/// probe asked for. An ad-hoc `1e-6` used to live here — numerically the
+/// same width, but only by coincidence; deriving it from the quantum
+/// keeps the tolerance honest if the enforcement granularity changes.
+const STALE_CAP_TOLERANCE: f64 = CAP_QUANTUM;
 
 /// Tuning knobs for the online coordinator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,8 +173,16 @@ pub struct OnlineCoordinator {
     /// watchdog returns to (rescaled to the live budget).
     initial_fraction: f64,
     best: PowerAllocation,
-    best_perf: f64,
+    /// Measured performance of `best`; `None` until the baseline epoch
+    /// has been observed (an explicit state, where a `NEG_INFINITY`
+    /// sentinel compared with `==` used to stand in for it).
+    best_perf: Option<f64>,
     pending: Option<PowerAllocation>,
+    /// Optional steady-state fast path: a precomputed oracle table for
+    /// this node's `(platform, workload-class)`. When attached,
+    /// [`Self::set_budget`] seeds the re-opened search from the table's
+    /// optimum instead of rescaling the old ratio.
+    table: Option<Arc<CurveTable>>,
     phase: Phase,
     step: Watts,
     epochs: usize,
@@ -178,13 +198,31 @@ impl OnlineCoordinator {
             budget,
             initial_fraction: initial.proc_fraction(),
             best: initial,
-            best_perf: f64::NEG_INFINITY,
+            best_perf: None,
             pending: None,
+            table: None,
             phase: Phase::TryTowardProc,
             step: config.step,
             epochs: 0,
             overdraw_streak: 0,
         }
+    }
+
+    /// Attach the steady-state fast path: a shared oracle table for this
+    /// node's class (see [`CurveTable::shared`]). Budget changes then
+    /// restart the search from the table's optimum for the new budget —
+    /// already at (or within one table rung of) the peak — instead of
+    /// the rescaled old ratio, and [`Self::set_budget`] itself never
+    /// touches a solver.
+    pub fn attach_table(&mut self, table: Arc<CurveTable>) {
+        self.table = Some(table);
+    }
+
+    /// Builder-style [`Self::attach_table`].
+    #[must_use]
+    pub fn with_table(mut self, table: Arc<CurveTable>) -> Self {
+        self.attach_table(table);
+        self
     }
 
     /// Has the search settled?
@@ -209,9 +247,12 @@ impl OnlineCoordinator {
 
     /// Re-target the search at a new node budget (mid-run budget steps
     /// are a fact of life on power-bounded clusters — caps get
-    /// re-negotiated while jobs run). The learned proc/mem *ratio* is
-    /// kept, rescaled to the new total, and the search re-opens from
-    /// there: performance must be re-measured because the capping
+    /// re-negotiated while jobs run). With a table attached
+    /// ([`Self::attach_table`]) the search re-opens from the table's
+    /// precomputed optimum for the new budget — the steady-state fast
+    /// path, no solver in the loop. Otherwise the learned proc/mem
+    /// *ratio* is kept, rescaled to the new total. Either way the search
+    /// re-opens: performance must be re-measured because the capping
     /// scenario may have changed category entirely. Invalid budgets —
     /// non-finite, non-positive, or below [`OnlineConfig::min_budget`] —
     /// are rejected with a [`BudgetOutcome`] and counted under
@@ -225,13 +266,21 @@ impl OnlineCoordinator {
             pbc_trace::counter(names::ONLINE_REJECTED_BUDGETS).incr();
             return BudgetOutcome::RejectedBelowMinimum;
         }
-        if (new - self.budget).abs().value() < 1e-9 {
+        if (new - self.budget).is_zero() {
             return BudgetOutcome::Unchanged;
         }
-        let fraction = self.best.proc_fraction();
+        // Re-seed the search for the new budget: from the attached
+        // oracle table when one covers it (the split is then already at
+        // or within one rung of the peak, and no solver ran), otherwise
+        // by rescaling the learned ratio to the new total.
+        let seeded = self
+            .table
+            .as_ref()
+            .and_then(|t| t.alloc_at(new))
+            .unwrap_or_else(|| PowerAllocation::split(new, self.best.proc_fraction()));
         self.budget = new;
-        self.best = PowerAllocation::split(new, fraction);
-        self.best_perf = f64::NEG_INFINITY;
+        self.best = seeded;
+        self.best_perf = None;
         self.pending = None;
         self.phase = Phase::TryTowardProc;
         self.step = self.config.step;
@@ -244,7 +293,7 @@ impl OnlineCoordinator {
     /// the initial fraction of the live budget, and restart the search.
     fn fall_back(&mut self) {
         self.best = PowerAllocation::split(self.budget, self.initial_fraction);
-        self.best_perf = f64::NEG_INFINITY;
+        self.best_perf = None;
         self.pending = None;
         self.phase = Phase::TryTowardProc;
         self.step = self.config.step;
@@ -266,8 +315,8 @@ impl OnlineCoordinator {
         {
             return ObservationOutcome::RejectedOutOfRange;
         }
-        let stale = (op.alloc.proc - tried.proc).abs().value() > 1e-6
-            || (op.alloc.mem - tried.mem).abs().value() > 1e-6;
+        let stale = (op.alloc.proc - tried.proc).abs().value() > STALE_CAP_TOLERANCE
+            || (op.alloc.mem - tried.mem).abs().value() > STALE_CAP_TOLERANCE;
         if stale {
             return ObservationOutcome::RejectedStale;
         }
@@ -276,7 +325,7 @@ impl OnlineCoordinator {
 
     /// The split to apply for the next epoch.
     pub fn next_allocation(&mut self) -> PowerAllocation {
-        if self.best_perf == f64::NEG_INFINITY {
+        if self.best_perf.is_none() {
             // First epoch: measure the starting point itself.
             self.pending = Some(self.best);
             return self.best;
@@ -285,7 +334,7 @@ impl OnlineCoordinator {
             match self.phase {
                 Phase::TryTowardProc => {
                     let c = self.best.shift_to_proc(self.step);
-                    if (c.proc - self.best.proc).abs().value() < 1e-9 {
+                    if (c.proc - self.best.proc).is_zero() {
                         // Donor exhausted: skip to the other direction.
                         self.phase = Phase::TryTowardMem;
                         continue;
@@ -295,7 +344,7 @@ impl OnlineCoordinator {
                 }
                 Phase::TryTowardMem => {
                     let c = self.best.shift_to_proc(-self.step);
-                    if (c.mem - self.best.mem).abs().value() < 1e-9 {
+                    if (c.mem - self.best.mem).is_zero() {
                         self.phase = Phase::Shrink;
                         continue;
                     }
@@ -322,7 +371,7 @@ impl OnlineCoordinator {
 
     fn accept(&mut self, tried: PowerAllocation, perf: f64) {
         self.best = tried;
-        self.best_perf = perf;
+        self.best_perf = Some(perf);
         pbc_trace::counter(names::ONLINE_ACCEPTED).incr();
         pbc_trace::gauge(names::ONLINE_BEST_PERF).set(perf);
     }
@@ -371,13 +420,13 @@ impl OnlineCoordinator {
             self.overdraw_streak = 0;
         }
         let perf = op.perf_rel;
-        if self.best_perf == f64::NEG_INFINITY {
+        let Some(best_perf) = self.best_perf else {
             // Baseline measurement of the starting point.
-            self.best_perf = perf;
+            self.best_perf = Some(perf);
             pbc_trace::gauge(names::ONLINE_BEST_PERF).set(perf);
             return ObservationOutcome::Used;
-        }
-        let improved = perf > self.best_perf * (1.0 + self.config.accept_margin);
+        };
+        let improved = perf > best_perf * (1.0 + self.config.accept_margin);
         match self.phase {
             Phase::TryTowardProc => {
                 if improved {
@@ -691,6 +740,36 @@ mod tests {
         // A budget at the floor is legitimate.
         assert_eq!(coord.set_budget(floor), BudgetOutcome::Applied);
         assert_eq!(coord.budget(), floor);
+    }
+
+    /// With a class table attached, a budget change re-seeds the search
+    /// from the table's precomputed optimum — not the rescaled ratio —
+    /// and stays within the new budget.
+    #[test]
+    fn budget_change_with_table_seeds_from_the_oracle_optimum() {
+        use crate::fastpath::CurveTable;
+        let platform = ivybridge();
+        let demand = by_name("stream").unwrap().demand;
+        let budget = Watts::new(208.0);
+        let table = CurveTable::shared(&platform, &demand).unwrap();
+        let mut coord = OnlineCoordinator::new(
+            budget,
+            PowerAllocation::split(budget, 0.5),
+            OnlineConfig::default(),
+        )
+        .with_table(Arc::clone(&table));
+        let cut = Watts::new(176.0);
+        let expected = table.alloc_at(cut).unwrap();
+        assert_eq!(coord.set_budget(cut), BudgetOutcome::Applied);
+        assert_eq!(coord.best(), expected, "search must seed from the table rung");
+        assert!(coord.best().total().value() <= cut.value() + 1e-9);
+        assert!(!coord.converged(), "the seeded search still re-measures");
+        // Below the class floor the table serves nothing: the ratio
+        // rescale fallback applies, exactly the table-less behaviour.
+        let tiny = Watts::new(40.0);
+        let frac = coord.best().proc_fraction();
+        assert_eq!(coord.set_budget(tiny), BudgetOutcome::Applied);
+        assert!((coord.best().proc_fraction() - frac).abs() < 1e-9);
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! `sweep.curve_reuse_hits`) instead of re-integrating the control
 //! loops per budget.
 //!
+//! The sweep is the *authority*, not the serving path. Steady-state
+//! callers answering repeated budget changes should go through
+//! [`crate::fastpath`]: [`crate::fastpath::WarmOracle`] re-solves
+//! incrementally from the previous optimum (bit-identical to
+//! [`sweep_budget`], asserted in `tests/fastpath_equivalence.rs`),
+//! [`crate::fastpath::CurveTable`] precomputes a per-class ladder through
+//! [`sweep_curve`] and serves allocations without any solver in the
+//! loop, and [`crate::fastpath::solve_batch`] amortizes concurrent
+//! budget queries exactly as [`sweep_curve`] amortizes curve budgets.
+//!
 //! ## Error contract
 //!
 //! The sweep distinguishes two failure classes, via

@@ -121,6 +121,22 @@ fn float_material(e: &Expr) -> bool {
         ExprKind::Lit(LitKind::Float, _) => true,
         ExprKind::MethodCall(_, name, _) => name == "value",
         ExprKind::Field(_, name) => name == "0",
+        // Float-constant paths: `f64::NEG_INFINITY`, `f32::NAN`, ... A
+        // sentinel compared with `==` is exactly the pattern that hid
+        // the online coordinator's baseline state (and `NAN == NAN` is
+        // always false); model the state with `Option` instead.
+        ExprKind::Path(segs) => {
+            matches!(
+                segs.as_slice(),
+                [ty, c]
+                    if matches!(ty.as_str(), "f64" | "f32")
+                        && matches!(
+                            c.as_str(),
+                            "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON"
+                                | "MAX" | "MIN" | "MIN_POSITIVE"
+                        )
+            )
+        }
         ExprKind::Cast(_, ty) => {
             matches!(ty.split_whitespace().next(), Some("f64" | "f32"))
         }
@@ -198,6 +214,42 @@ mod tests {
         let src = "fn f(w: f64) { assert!(w == 0.25); }";
         let d = run_rule(&FloatCmp, "crates/x/src/lib.rs", src);
         assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    /// The online coordinator's epsilon bug class: a `NEG_INFINITY`
+    /// sentinel held in a plain variable and compared exactly. Neither
+    /// operand is a literal or a unit accessor, so the rule used to
+    /// miss it.
+    #[test]
+    fn flags_float_constant_paths() {
+        let d = run_rule(
+            &FloatCmp,
+            "crates/x/src/lib.rs",
+            "fn f(best: f64) -> bool { best == f64::NEG_INFINITY }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run_rule(
+            &FloatCmp,
+            "crates/x/src/lib.rs",
+            "fn f(v: f32) -> bool { f32::NAN != v }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn ignores_non_float_constant_paths() {
+        let d = run_rule(
+            &FloatCmp,
+            "crates/x/src/lib.rs",
+            "fn f(n: usize) -> bool { n == usize::MAX }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = run_rule(
+            &FloatCmp,
+            "crates/x/src/lib.rs",
+            "fn f(p: Phase) -> bool { p == Phase::Converged }",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod memctl;
 pub mod memo;
 pub mod operating;
 pub mod rapl;
+pub mod registry;
 pub mod sockets;
 pub mod thermal;
 
@@ -63,6 +64,7 @@ pub use memctl::DramThrottle;
 pub use memo::SolveMemo;
 pub use operating::{CpuMechanismState, GpuMechanismState, MechanismState, NodeOperatingPoint};
 pub use rapl::RaplController;
+pub use registry::BoundedRegistry;
 pub use sockets::{coordinate_sockets, single_socket_spec, solve_per_socket, SocketOperatingPoint};
 pub use thermal::{ThermalModel, ThermalParams};
 

@@ -40,10 +40,11 @@ use crate::cpunode::{self, dram_bw_ceiling, solve_cpu_with_nominal};
 use crate::demand::WorkloadDemand;
 use crate::gpunode::{self, check_card_cap, solve_gpu_with_nominal};
 use crate::operating::{MechanismState, NodeOperatingPoint};
+use crate::registry::{lock, BoundedRegistry};
 use pbc_platform::{CpuSpec, DramSpec, GpuSpec, NodeSpec, Platform};
 use pbc_types::{PowerAllocation, Result, Watts};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Canonical cache key: exactly the solver's effective inputs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -76,10 +77,6 @@ pub struct SolveMemo {
     cache: Mutex<HashMap<Key, NodeOperatingPoint>>,
 }
 
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 /// Most shared memos the registry keeps. One sweep touches a handful of
 /// `(hardware, demand)` pairs; a long-running cluster loop cycling
 /// through workload phases used to accrete one memo per pair it ever
@@ -89,57 +86,26 @@ pub const MAX_SHARED_MEMOS: usize = 64;
 
 /// Process-wide memo registry, keyed by an exact fingerprint of the
 /// problem (the debug rendering of the full spec and demand — verbose,
-/// but collision-free). Bounded at [`MAX_SHARED_MEMOS`]: when a new
-/// fingerprint would overflow it, the least-recently-used entry is
-/// evicted (counted under `solve.cache_evictions`). Live `Arc` handles
-/// keep an evicted memo's caches alive for their holders — eviction
-/// only drops the registry's route to it. `clear_shared` exists for
-/// cold-cache benchmarking.
-fn registry() -> &'static Mutex<Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
-}
-
-#[derive(Default)]
-struct Registry {
-    /// fingerprint → (memo, last-use stamp).
-    memos: HashMap<String, (Arc<SolveMemo>, u64)>,
-    /// Monotone use counter driving the LRU stamps.
-    clock: u64,
-}
-
-fn shared(fingerprint: String, build: impl FnOnce() -> SolveMemo) -> Arc<SolveMemo> {
-    let mut reg = lock(registry());
-    reg.clock += 1;
-    let now = reg.clock;
-    if let Some((memo, stamp)) = reg.memos.get_mut(&fingerprint) {
-        *stamp = now;
-        return Arc::clone(memo);
-    }
-    while reg.memos.len() >= MAX_SHARED_MEMOS {
-        // Evict the least-recently-used fingerprint to stay bounded.
-        let oldest = reg
-            .memos
-            .iter()
-            .min_by_key(|(_, (_, stamp))| *stamp)
-            .map(|(k, _)| k.clone());
-        match oldest {
-            Some(k) => {
-                reg.memos.remove(&k);
-                pbc_trace::counter(pbc_trace::names::SOLVE_CACHE_EVICTIONS).incr();
-            }
-            None => break,
-        }
-    }
-    let memo = Arc::new(build());
-    reg.memos.insert(fingerprint, (Arc::clone(&memo), now));
-    memo
+/// but collision-free). A [`BoundedRegistry`] capped at
+/// [`MAX_SHARED_MEMOS`]: when a new fingerprint would overflow it, the
+/// least-recently-used entry is evicted (counted under
+/// `solve.cache_evictions`). Live `Arc` handles keep an evicted memo's
+/// caches alive for their holders — eviction only drops the registry's
+/// route to it. `clear_shared` exists for cold-cache benchmarking.
+fn registry() -> &'static BoundedRegistry<SolveMemo> {
+    static REGISTRY: OnceLock<BoundedRegistry<SolveMemo>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        BoundedRegistry::new(
+            MAX_SHARED_MEMOS,
+            Some(pbc_trace::names::SOLVE_CACHE_EVICTIONS),
+        )
+    })
 }
 
 impl SolveMemo {
     /// The shared memo for a host-node problem.
     pub fn for_cpu(cpu: &CpuSpec, dram: &DramSpec, demand: &WorkloadDemand) -> Arc<SolveMemo> {
-        shared(format!("cpu|{cpu:?}|{dram:?}|{demand:?}"), || SolveMemo {
+        registry().get_or_build(&format!("cpu|{cpu:?}|{dram:?}|{demand:?}"), || SolveMemo {
             bound: Bound::Cpu { cpu: cpu.clone(), dram: dram.clone() },
             demand: demand.clone(),
             nominal: OnceLock::new(),
@@ -149,7 +115,7 @@ impl SolveMemo {
 
     /// The shared memo for a GPU-card problem.
     pub fn for_gpu(gpu: &GpuSpec, demand: &WorkloadDemand) -> Arc<SolveMemo> {
-        shared(format!("gpu|{gpu:?}|{demand:?}"), || SolveMemo {
+        registry().get_or_build(&format!("gpu|{gpu:?}|{demand:?}"), || SolveMemo {
             bound: Bound::Gpu(gpu.clone()),
             demand: demand.clone(),
             nominal: OnceLock::new(),
@@ -184,12 +150,12 @@ impl SolveMemo {
     /// Drop every shared memo. Benches call this between iterations so
     /// timings measure a cold cache instead of earlier iterations' work.
     pub fn clear_shared() {
-        lock(registry()).memos.clear();
+        registry().clear();
     }
 
     /// Shared memos currently registered (≤ [`MAX_SHARED_MEMOS`]).
     pub fn shared_len() -> usize {
-        lock(registry()).memos.len()
+        registry().len()
     }
 
     /// Cached entries in this memo.

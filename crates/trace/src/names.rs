@@ -58,6 +58,20 @@ pub const SOLVE_CACHE_MISSES: &str = "solve.cache_misses";
 /// Shared memos evicted from the process-wide registry when it hits its
 /// capacity bound (oldest-use first).
 pub const SOLVE_CACHE_EVICTIONS: &str = "solve.cache_evictions";
+/// Re-solves answered by the warm-start outward search instead of a
+/// full-grid rescan (the budget moved by a small delta and the previous
+/// optimum seeded the search).
+pub const SOLVE_WARM_HITS: &str = "solve.warm_hits";
+
+// --- steady-state fast path (crates/core/src/fastpath.rs) --------------
+
+/// Allocations served straight off a precomputed interpolation table
+/// (no solver touched).
+pub const FASTPATH_TABLE_HITS: &str = "fastpath.table_hits";
+/// Interpolation tables built (or rebuilt) by a full `sweep_curve` pass.
+pub const FASTPATH_TABLE_REBUILDS: &str = "fastpath.table_rebuilds";
+/// Gauge: size of the last batched solve submitted to the pool.
+pub const FASTPATH_BATCH_DEPTH: &str = "fastpath.batch_depth";
 
 // --- static coordinator (crates/core/src/coord.rs) --------------------
 

@@ -35,5 +35,5 @@ pub use metrics::{Efficiency, PerfMetric, PerfUnit, Throughput};
 pub use rng::XorShift64Star;
 pub use units::{
     approx_eq, is_zero, u16_from_f64, u32_from_f64, u64_from_f64, usize_from_f64, Bandwidth,
-    Gflops, Hertz, Joules, Seconds, Watts, EPSILON,
+    Gflops, Hertz, Joules, Seconds, Watts, CAP_QUANTUM, EPSILON,
 };

@@ -35,6 +35,17 @@ pub fn is_zero(v: f64) -> bool {
     v.abs() <= EPSILON
 }
 
+/// The cap-write quantum of the enforcement layer, in watts.
+///
+/// RAPL powercap limits are written as *integer microwatts*
+/// (`crates/rapl` rounds `watts * 1e6` before writing
+/// `constraint_0_power_limit_uw`), so any cap read back from hardware
+/// can differ from the cap that was requested by up to half a
+/// microwatt. Tolerances that compare a requested cap against an
+/// enforced/observed one must be at least this wide, or every rounded
+/// cap looks "stale".
+pub const CAP_QUANTUM: f64 = 1e-6;
+
 macro_rules! checked_from_f64 {
     ($(#[$meta:meta])* $fn_name:ident, $int:ty) => {
         $(#[$meta])*

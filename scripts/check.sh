@@ -14,7 +14,9 @@ echo "==> tier-1: cargo test -q"
 cargo test -q
 
 echo "==> workspace tests (every crate, including the pbc-lint suite)"
-cargo test -q --workspace
+# The root facade crate already ran in the tier-1 step above; exclude it
+# so its suite is not paid twice.
+cargo test -q --workspace --exclude power-bounded-computing
 
 echo "==> pbc-lint gate (lint-baseline.toml ratchet; <10s budget)"
 # Build untimed, then time only the scan itself. A full-workspace scan
@@ -54,11 +56,25 @@ cargo test -q --test chaos_properties
 echo "==> cluster smoke (fleet coordination beats uniform split; dropout chaos, via a real trace file)"
 cargo test -q -p pbc-cli --test cluster_smoke
 
-echo "==> sweep bench (timed; appends machine-readable records to BENCH_sweep.json)"
+echo "==> timed benches (append machine-readable records to BENCH_sweep.json)"
+# BENCH_sweep.json is the *fresh-file* gate input: it must contain only
+# this run's records, so the ratio greps below can never match a stale
+# line. The history of every run is kept separately under results/.
 rm -f BENCH_sweep.json
 PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench sweep
-test -s BENCH_sweep.json || { echo "error: sweep bench wrote no records" >&2; exit 1; }
+PBC_BENCH_JSON="$PWD/BENCH_sweep.json" cargo bench -q -p pbc-bench --bench fastpath
+test -s BENCH_sweep.json || { echo "error: benches wrote no records" >&2; exit 1; }
 echo "    records: BENCH_sweep.json"
+
+echo "==> bench history (run-stamped append under results/)"
+# Every gated run's records are preserved, stamped with the UTC time and
+# the commit, so timing trajectories survive the per-run rm -f above.
+mkdir -p results
+run_stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+run_commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+sed "s/^{/{\"run\":\"${run_stamp}\",\"commit\":\"${run_commit}\",/" \
+    BENCH_sweep.json >> results/bench_history.jsonl
+echo "    history: results/bench_history.jsonl (${run_stamp} @ ${run_commit})"
 
 echo "==> shared-grid oracle speedup gate (curve >= 2x over per-budget sweeps)"
 # The sweep bench records the curve-vs-independent median ratio as a
@@ -70,5 +86,16 @@ test -n "$ratio" || { echo "error: no bench-ratio record in BENCH_sweep.json" >&
 awk -v r="$ratio" 'BEGIN { exit (r >= 2.0 ? 0 : 1) }' \
     || { echo "error: curve speedup ${ratio}x is below the 2x bar" >&2; exit 1; }
 echo "    curve speedup: ${ratio}x"
+
+echo "==> steady-state fast path gate (table-served set_budget >= 10x over a cold solve)"
+# The fastpath bench records the set_budget-vs-direct-solve median ratio;
+# the sub-microsecond serving claim must hold its 10x bar.
+fp_ratio=$(grep '"type":"bench-ratio"' BENCH_sweep.json \
+    | grep '"name":"fastpath/set-budget-vs-cold-solve"' \
+    | sed 's/.*"ratio"://; s/[^0-9.].*//')
+test -n "$fp_ratio" || { echo "error: no fastpath bench-ratio record in BENCH_sweep.json" >&2; exit 1; }
+awk -v r="$fp_ratio" 'BEGIN { exit (r >= 10.0 ? 0 : 1) }' \
+    || { echo "error: fast-path speedup ${fp_ratio}x is below the 10x bar" >&2; exit 1; }
+echo "    fast-path speedup: ${fp_ratio}x"
 
 echo "all checks passed"
