@@ -36,6 +36,11 @@ USAGE:
                 [--epochs N]             coordinate a fleet of nodes under
                                         one global budget; with --epochs,
                                         replay a fault plan on top
+  pbc cluster-chaos -p SPEC-FILE -b WATTS [--plan NAME] [--seed N]
+                [--epochs N]             replay a fleet fault plan with a
+                                        mock RAPL tree as the cap sink,
+                                        print the survival report
+  pbc faults list                       list every canned fault plan
   pbc rapl-status                       read real RAPL domains (Linux)
 
 Global options:
@@ -301,6 +306,21 @@ fn run(argv: &[String]) -> Result<String, String> {
             )
             .map_err(e)
         }
+        "cluster-chaos" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_cluster_chaos(
+                &need(a.platform, "-p SPEC-FILE")?,
+                need(a.budget, "-b WATTS")?,
+                a.plan.as_deref().unwrap_or("everything"),
+                a.seed.unwrap_or(42),
+                a.epochs.unwrap_or(0),
+            )
+            .map_err(e)
+        }
+        "faults" => match rest.first().map(String::as_str) {
+            Some("list") | None => Ok(pbc_cli::cmd_faults_list()),
+            Some(other) => Err(format!("unknown faults subcommand {other}; try `pbc faults list`")),
+        },
         other => Err(format!("unknown command {other}\n\n{HELP}")),
     }
 }

@@ -494,9 +494,9 @@ pub fn cmd_cluster(
     let _ = writeln!(out, "aggregate perf oracle:        {oracle:>8.3}");
 
     if epochs > 0 {
-        let plan = pbc_cluster::ClusterFaultPlan::by_name(plan_name, seed).ok_or_else(|| {
+        let plan = pbc_faults::FleetFaultPlan::by_name(plan_name, seed).ok_or_else(|| {
             PbcError::NotFound(format!(
-                "cluster fault plan {plan_name:?}; known: {}",
+                "fleet fault plan {plan_name:?}; known: {}",
                 pbc_cluster::PLAN_NAMES.join(", ")
             ))
         })?;
@@ -510,13 +510,29 @@ pub fn cmd_cluster(
         );
         let _ = writeln!(
             out,
-            "  dropouts {}, recoveries {}, failed cap writes {}",
-            report.dropouts, report.recoveries, report.write_failures
+            "  dropouts {}, recoveries {}, quarantines {}, rejoins {}",
+            report.dropouts, report.recoveries, report.quarantines, report.rejoins
         );
         let _ = writeln!(
             out,
-            "  min nodes up {}, budget violations {}",
-            report.min_nodes_up, report.budget_violations
+            "  missed reports {}, rejected reports {}, failed cap writes {}, retries {}",
+            report.missed_reports, report.rejected_reports, report.write_failures,
+            report.write_retries
+        );
+        let _ = writeln!(
+            out,
+            "  min nodes up {}, degraded epochs {}, round timeouts {}, budget violations {}",
+            report.min_nodes_up, report.degraded_epochs, report.round_timeouts,
+            report.budget_violations
+        );
+        let _ = writeln!(
+            out,
+            "  availability {:.3}, reconverged {}",
+            report.availability,
+            match report.reconverged_at {
+                Some(t) => format!("@ epoch {t}"),
+                None => "never".to_string(),
+            }
         );
         let _ = writeln!(
             out,
@@ -524,13 +540,68 @@ pub fn cmd_cluster(
             report.final_aggregate, report.mean_aggregate
         );
         let verdict = if report.survived() {
-            "SURVIVED: the enforced total never exceeded the global budget"
+            "SURVIVED: the enforced total never exceeded the global budget and no \
+             quarantined watts leaked"
         } else {
-            "DIED: an epoch enforced more power than the global budget"
+            "DIED: the fleet broke its global bound or leaked quarantined watts"
         };
         let _ = writeln!(out, "verdict: {verdict}");
     }
     Ok(out)
+}
+
+/// `pbc cluster-chaos -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]`
+///
+/// The full fleet fault-tolerance harness: replay a
+/// `pbc_faults::FleetFaultPlan` against the hierarchical coordinator
+/// with a mock RAPL tree as the cap sink, and print the survival
+/// report (`--epochs 0` runs to the plan's quiet point plus a settling
+/// margin).
+#[must_use = "the rendered survival report is the command's entire output"]
+pub fn cmd_cluster_chaos(
+    spec_path: &str,
+    budget: f64,
+    plan_name: &str,
+    seed: u64,
+    epochs: usize,
+) -> Result<String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| PbcError::Io(format!("could not read fleet spec {spec_path:?}: {e}")))?;
+    let spec = pbc_cluster::parse_spec(&text)?;
+    let fleet = pbc_cluster::Fleet::build(&spec)?;
+    let plan = pbc_faults::FleetFaultPlan::by_name(plan_name, seed).ok_or_else(|| {
+        PbcError::NotFound(format!(
+            "fleet fault plan {plan_name:?}; known: {}",
+            pbc_cluster::PLAN_NAMES.join(", ")
+        ))
+    })?;
+    let report = pbc_cluster::run_cluster_chaos(fleet, Watts::new(budget), &plan, epochs)?;
+    Ok(report.to_string())
+}
+
+/// `pbc faults list`
+///
+/// Every canned fault plan the workspace ships — the single-node plans
+/// `pbc chaos` replays and the fleet plans `pbc cluster` /
+/// `pbc cluster-chaos` replay — with one-line descriptions.
+#[must_use = "the rendered plan catalogue is the command's entire output"]
+pub fn cmd_faults_list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "single-node fault plans (pbc chaos --plan NAME):");
+    for name in pbc_faults::plan::NAMES {
+        let what = pbc_faults::FaultPlan::describe(name).unwrap_or("");
+        let _ = writeln!(out, "  {name:<14} {what}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "fleet fault plans (pbc cluster / pbc cluster-chaos --plan NAME):"
+    );
+    for name in pbc_cluster::PLAN_NAMES {
+        let what = pbc_faults::FleetFaultPlan::describe(name).unwrap_or("");
+        let _ = writeln!(out, "  {name:<14} {what}");
+    }
+    out
 }
 
 /// `pbc hybrid --host <cpu-platform> --card <gpu-platform> --host-bench X --gpu-bench Y --gpu-share F -b WATTS`

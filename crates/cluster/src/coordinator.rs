@@ -1,5 +1,6 @@
-//! The cluster coordinator: one global budget, N nodes, two layers of
-//! coordination.
+//! The fleet coordinator: one global budget, N nodes, two layers of
+//! coordination — and the fault tolerance that keeps the bound honest
+//! when nodes crash, lag, or lie.
 //!
 //! Layer one is the water-filling partition ([`crate::partition`]): the
 //! global budget becomes per-node shares ranked by marginal gain. Layer
@@ -8,149 +9,80 @@
 //! across nodes on the `pbc-par` pool, since every node's solve is
 //! independent.
 //!
-//! The dynamic mode ([`ClusterCoordinator::step`]) replays the
-//! `pbc-faults` determinism contract at cluster scale: node dropouts and
-//! cap-write failures are drawn from fresh `XorShift64Star` generators
-//! keyed on `(seed, tick, stream, node)`, never from shared state, so a
-//! chaos run is bit-identical under any `PBC_THREADS`. Enforcement is
-//! decreases-first: watts freed by lowered caps (and by dropped nodes)
-//! fund the raises, and a failed lowering keeps its watts reserved —
-//! the pot for raises only ever shrinks — so the total enforced cap
-//! never exceeds the global budget and `cluster.budget_violations`
-//! stays at zero by construction, not by luck.
+//! The dynamic mode ([`FleetCoordinator::step`]) runs the full failure
+//! pipeline each epoch:
+//!
+//! 1. **Faults roll** from the armed [`FleetFaultPlan`] — crashes,
+//!    stragglers, write outages — each from a fresh `XorShift64Star`
+//!    keyed `(seed, tick, stream, node)`
+//!    ([`pbc_faults::inject::decision_rng`]), never shared state, so a
+//!    chaos run is bit-identical under any `PBC_THREADS`.
+//! 2. **Reports arrive** (or don't): every node's observation of the
+//!    previous epoch passes the same validation gate
+//!    `OnlineCoordinator` applies — non-finite, out-of-range, and
+//!    stale-cap rejection — before it may steer the partition.
+//! 3. **Health updates**: verdicts drive the per-node Healthy →
+//!    Suspect → Quarantined → Rejoining machine ([`crate::health`]).
+//! 4. **Mode decides**: a coordinator outage, a timed-out previous
+//!    round, or an infeasible fill drops the epoch to the precomputed
+//!    [`StaticFallback`] partition, whose shares sum ≤ the global
+//!    budget by construction ([`crate::degrade`]).
+//! 5. **Targets partition**: water-fill over Healthy + Suspect nodes,
+//!    with Quarantined/Rejoining nodes reserved at their class floors
+//!    and Suspects capped at their standing grant (no raises on
+//!    untrusted telemetry).
+//! 6. **Enforcement lands**, decreases first, each write supervised by
+//!    a [`RetryPolicy`] under a per-round attempt deadline: watts freed
+//!    by confirmed lowerings (and by dead nodes) fund the raises; a
+//!    failed lowering keeps its watts reserved; a blown deadline ends
+//!    the round and degrades the next epoch. The pot for raises only
+//!    ever shrinks, so `Σ enforced ≤ global` is an invariant —
+//!    `cluster.budget_violations` and `health.quarantine_leaks` stay
+//!    zero by construction, not by luck.
 
+use crate::degrade::StaticFallback;
 use crate::fleet::Fleet;
+use crate::health::{HealthConfig, HealthCounts, HealthTracker, NodeHealth, ReportVerdict};
 use crate::partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};
-use pbc_faults::inject::write_key;
-use pbc_faults::{FaultClock, FaultWindow};
+use pbc_faults::inject::{decision_rng, write_key};
+use pbc_faults::{FaultClock, FleetFaultPlan};
 use pbc_par::Pool;
 use pbc_powersim::SolveMemo;
+use pbc_rapl::RetryPolicy;
 use pbc_trace::names;
-use pbc_types::rng::XorShift64Star;
-use pbc_types::{PbcError, PowerAllocation, Result, Watts};
+use pbc_types::{PbcError, PowerAllocation, Result, Watts, CAP_QUANTUM};
 use std::sync::{Arc, Mutex};
 
 /// Weyl-ish odd constant spreading ticks across the seed space (the
 /// same one `pbc_faults::inject` uses, so cluster draws mix as well).
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-/// Stream constant for node-dropout decisions.
+/// Stream constant for node crash/rejoin decisions.
 const STREAM_NODE: u64 = 0x5EED_0011;
-/// Stream constant for cluster cap-write decisions.
+/// Stream constant for cap-write fault decisions.
 const STREAM_CAP: u64 = 0x5EED_0012;
+/// Stream constant for observation-report fault decisions.
+const STREAM_REPORT: u64 = 0x5EED_0013;
+/// Stream constant for straggler onset decisions.
+const STREAM_STRAGGLE: u64 = 0x5EED_0014;
+/// Stream constant for per-node write-outage onset decisions.
+const STREAM_WRITE_OUTAGE: u64 = 0x5EED_0015;
 /// Watt slack below which a cap move is not worth a write.
 const EPS_W: f64 = 1e-6;
+/// Reported throughput surrogates above this are sensor garbage — the
+/// same bar `OnlineConfig::max_credible_perf` defaults to.
+const MAX_CREDIBLE_PERF: f64 = 8.0;
+/// How far a reported cap may sit from the cap we enforced before the
+/// report is judged stale (one enforcement quantum, as in
+/// `pbc_core::online`).
+const STALE_CAP_TOLERANCE: f64 = CAP_QUANTUM;
 
-/// Deterministic fault plan for a cluster run: node dropouts and
-/// cap-write failures, windowed in epochs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ClusterFaultPlan {
-    /// Preset name (for reports).
-    pub name: &'static str,
-    /// Seed all draws derive from.
-    pub seed: u64,
-    /// Per-node, per-epoch probability of dropping out while the
-    /// dropout window is active.
-    pub dropout_prob: f64,
-    /// Epochs `[from, until)` during which dropouts can fire.
-    pub dropout_window: FaultWindow,
-    /// How many epochs a dropped node stays down before rejoining.
-    pub outage_epochs: usize,
-    /// Per-write probability of a cap write failing while the write
-    /// window is active.
-    pub write_fail_prob: f64,
-    /// Epochs `[from, until)` during which cap writes can fail.
-    pub write_window: FaultWindow,
-}
-
-/// The preset plan names [`ClusterFaultPlan::by_name`] accepts.
-pub const PLAN_NAMES: [&str; 4] = ["calm", "node-dropouts", "flaky-writes", "everything"];
-
-impl ClusterFaultPlan {
-    /// No faults at all — the control run.
-    #[must_use]
-    pub fn calm(seed: u64) -> Self {
-        Self {
-            name: "calm",
-            seed,
-            dropout_prob: 0.0,
-            dropout_window: FaultWindow::NEVER,
-            outage_epochs: 0,
-            write_fail_prob: 0.0,
-            write_window: FaultWindow::NEVER,
-        }
-    }
-
-    /// Nodes drop out mid-run and rejoin a few epochs later.
-    #[must_use]
-    pub fn node_dropouts(seed: u64) -> Self {
-        Self {
-            name: "node-dropouts",
-            seed,
-            dropout_prob: 0.08,
-            dropout_window: FaultWindow::new(2, 30),
-            outage_epochs: 4,
-            write_fail_prob: 0.0,
-            write_window: FaultWindow::NEVER,
-        }
-    }
-
-    /// Cap writes fail stochastically; the pot accounting must hold.
-    #[must_use]
-    pub fn flaky_writes(seed: u64) -> Self {
-        Self {
-            name: "flaky-writes",
-            seed,
-            dropout_prob: 0.0,
-            dropout_window: FaultWindow::NEVER,
-            outage_epochs: 0,
-            write_fail_prob: 0.2,
-            write_window: FaultWindow::new(1, 40),
-        }
-    }
-
-    /// Dropouts and flaky writes together.
-    #[must_use]
-    pub fn everything(seed: u64) -> Self {
-        Self {
-            name: "everything",
-            dropout_prob: 0.08,
-            dropout_window: FaultWindow::new(2, 30),
-            outage_epochs: 4,
-            write_fail_prob: 0.2,
-            write_window: FaultWindow::new(1, 40),
-            ..Self::calm(seed)
-        }
-    }
-
-    /// Look a preset up by name.
-    #[must_use]
-    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
-        match name {
-            "calm" => Some(Self::calm(seed)),
-            "node-dropouts" => Some(Self::node_dropouts(seed)),
-            "flaky-writes" => Some(Self::flaky_writes(seed)),
-            "everything" => Some(Self::everything(seed)),
-            _ => None,
-        }
-    }
-
-    /// Check the plan's internal consistency.
-    #[must_use = "an invalid plan must not be armed"]
-    pub fn validate(&self) -> Result<()> {
-        for (what, p) in [("dropout_prob", self.dropout_prob), ("write_fail_prob", self.write_fail_prob)] {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(PbcError::InvalidInput(format!(
-                    "{what} must be a probability in [0, 1], got {p}"
-                )));
-            }
-        }
-        if self.dropout_prob > 0.0 && self.outage_epochs == 0 {
-            return Err(PbcError::InvalidInput(
-                "outage_epochs must be >= 1 when dropouts can fire".into(),
-            ));
-        }
-        Ok(())
-    }
+/// Where a node's cap writes land. The simulated chaos runs wire this
+/// to a mock RAPL sysfs tree so "enforced" means a real file changed;
+/// a daemon would wire it to per-host RPC.
+pub trait CapSink {
+    /// Persist `cap` as node `node`'s power limit. An `Err` counts as a
+    /// failed write attempt and is retried under the round's policy.
+    fn write_cap(&mut self, node: usize, cap: Watts) -> Result<()>;
 }
 
 /// One evaluated partition: the shares, what COORD made of them, and
@@ -178,18 +110,33 @@ pub struct EpochReport {
     pub tick: usize,
     /// Nodes live at the end of the epoch.
     pub nodes_up: usize,
-    /// Nodes that dropped out this epoch.
+    /// Nodes that crashed this epoch.
     pub dropped: usize,
-    /// Nodes that rejoined this epoch.
+    /// Nodes that came back up this epoch.
     pub recovered: usize,
-    /// Cap writes that failed this epoch.
+    /// Cap writes that failed after exhausting their retries.
     pub write_failures: usize,
+    /// Retry attempts spent absorbing transient write failures.
+    pub write_retries: usize,
+    /// Observation reports that never arrived.
+    pub missed_reports: usize,
+    /// Observation reports rejected by validation.
+    pub rejected_reports: usize,
+    /// Did this epoch run on the static fallback partition?
+    pub degraded: bool,
+    /// Did enforcement blow its attempt deadline this epoch?
+    pub round_timed_out: bool,
+    /// Health census at the end of the epoch.
+    pub health: HealthCounts,
     /// Aggregate relative throughput across live nodes.
     pub aggregate_perf: f64,
     /// Sum of enforced caps after the epoch (must stay ≤ global).
     pub enforced_total: Watts,
     /// Watts that changed hands between nodes this epoch.
     pub moved: Watts,
+    /// Watts freed for the healthy pool by down/quarantined/rejoining
+    /// nodes, relative to the static fallback partition.
+    pub reclaimed: Watts,
 }
 
 /// Survival summary of a dynamic run.
@@ -197,51 +144,122 @@ pub struct EpochReport {
 pub struct ClusterReport {
     /// Epochs executed.
     pub epochs: usize,
-    /// Total dropout events.
+    /// Total crash events.
     pub dropouts: usize,
-    /// Total recovery events.
+    /// Total nodes-came-back events.
     pub recoveries: usize,
-    /// Total failed cap writes.
+    /// Total cap writes that failed after retries.
     pub write_failures: usize,
+    /// Total retry attempts spent on transient write failures.
+    pub write_retries: usize,
     /// Epochs whose enforced total exceeded the global budget. The
     /// decreases-first discipline makes this zero by construction.
     pub budget_violations: usize,
+    /// Epochs where raises were funded by watts not yet confirmed freed
+    /// — also structurally zero.
+    pub quarantine_leaks: usize,
+    /// Enforcement rounds that blew their attempt deadline.
+    pub round_timeouts: usize,
+    /// Epochs served from the static fallback partition.
+    pub degraded_epochs: usize,
+    /// Observation reports that never arrived.
+    pub missed_reports: usize,
+    /// Observation reports rejected by validation.
+    pub rejected_reports: usize,
+    /// Transitions into Quarantined.
+    pub quarantines: usize,
+    /// Quarantined → Rejoining transitions.
+    pub rejoins: usize,
     /// Smallest live-node count seen.
     pub min_nodes_up: usize,
     /// Aggregate throughput at the final epoch.
     pub final_aggregate: f64,
     /// Mean aggregate throughput across epochs.
     pub mean_aggregate: f64,
+    /// Healthy node-epochs over total node-epochs (1.0 = nobody ever
+    /// left full service).
+    pub availability: f64,
+    /// Σ aggregate throughput across epochs — the run's useful work, in
+    /// node-epoch units, for comparison against a never-fails oracle.
+    pub work_done: f64,
+    /// First tick at or past the plan's quiet point where every node
+    /// was Healthy on an undegraded epoch; `None` if the run ended
+    /// before reconverging.
+    pub reconverged_at: Option<usize>,
 }
 
 impl ClusterReport {
-    /// Did the run stay inside the global budget throughout?
+    /// Did the run hold both structural invariants — no budget
+    /// overdraw, no quarantine leak?
     #[must_use]
     pub fn survived(&self) -> bool {
-        self.budget_violations == 0
+        self.budget_violations == 0 && self.quarantine_leaks == 0
     }
 }
 
-/// Hierarchical coordinator for a fleet under one global budget.
-#[derive(Debug)]
-pub struct ClusterCoordinator {
+/// What supervised enforcement did in one round.
+#[derive(Debug, Clone, Copy, Default)]
+struct WriteStats {
+    failures: usize,
+    retries: usize,
+    timed_out: bool,
+}
+
+/// Hierarchical, fault-tolerant coordinator for a fleet under one
+/// global budget.
+pub struct FleetCoordinator {
     fleet: Fleet,
     global: Watts,
+    /// The budget the coordinator was built with; plan budget steps are
+    /// factors of this.
+    initial_global: Watts,
     grant: Watts,
-    plan: ClusterFaultPlan,
+    plan: FleetFaultPlan,
     clock: FaultClock,
+    retry: RetryPolicy,
+    health: HealthTracker,
+    fallback: StaticFallback,
     /// Cap currently enforced on each node (starts at zero: nothing has
     /// been granted before the first epoch).
     enforced: Vec<Watts>,
+    /// Enforced caps as of one epoch earlier — what a delayed or
+    /// straggling report describes.
+    enforced_hist: Vec<Watts>,
     /// Target shares of the previous epoch, for redistribution stats.
     prev_targets: Vec<Watts>,
+    /// Per-node throughput of the previous epoch (what reports carry).
+    last_perfs: Vec<f64>,
     /// `Some(t)` when the node is down until tick `t`.
     down_until: Vec<Option<usize>>,
+    /// `Some(t)` when the node straggles until tick `t`.
+    straggle_until: Vec<Option<usize>>,
+    /// `Some(t)` when the node's cap-write path is out until tick `t`.
+    write_outage_until: Vec<Option<usize>>,
+    /// The previous enforcement round blew its deadline; this epoch
+    /// must run degraded.
+    prev_round_timed_out: bool,
+    sink: Option<Box<dyn CapSink + Send>>,
 }
 
-impl ClusterCoordinator {
+/// The historical name, kept alive for callers from the pre-health era.
+pub type ClusterCoordinator = FleetCoordinator;
+
+impl std::fmt::Debug for FleetCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetCoordinator")
+            .field("nodes", &self.fleet.len())
+            .field("global", &self.global)
+            .field("plan", &self.plan.name)
+            .field("health", &self.health.counts())
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetCoordinator {
     /// Build a coordinator over `fleet` with `global` watts to divide.
-    /// Fails fast when the budget cannot cover every node's floor.
+    /// Fails fast when the budget cannot cover every node's floor —
+    /// which also guarantees a static fallback partition exists.
     #[must_use = "the coordinator result carries either the coordinator or the infeasibility"]
     pub fn new(fleet: Fleet, global: Watts) -> Result<Self> {
         if !global.is_valid() || global.value() <= 0.0 {
@@ -253,30 +271,66 @@ impl ClusterCoordinator {
         if global < minimum {
             return Err(PbcError::BudgetTooSmall { requested: global, minimum });
         }
+        let fallback = StaticFallback::compute(&fleet, global)?;
         let n = fleet.len();
         pbc_trace::gauge(names::CLUSTER_NODES).set(n as f64);
         // Register the invariant counters so every trace exports them
         // even at zero — absence must never read as cleanliness.
         let _ = pbc_trace::counter(names::CLUSTER_BUDGET_VIOLATIONS);
         let _ = pbc_trace::counter(names::CLUSTER_WRITE_FAILURES);
+        let _ = pbc_trace::counter(names::HEALTH_QUARANTINE_LEAKS);
         Ok(Self {
-            fleet,
             global,
+            initial_global: global,
             grant: DEFAULT_GRANT,
-            plan: ClusterFaultPlan::calm(0),
+            plan: FleetFaultPlan::calm(0),
             clock: FaultClock::new(),
+            retry: RetryPolicy::no_backoff(),
+            health: HealthTracker::new(n, HealthConfig::default()),
+            fallback,
             enforced: vec![Watts::ZERO; n],
+            enforced_hist: vec![Watts::ZERO; n],
             prev_targets: vec![Watts::ZERO; n],
+            last_perfs: vec![0.0; n],
             down_until: vec![None; n],
+            straggle_until: vec![None; n],
+            write_outage_until: vec![None; n],
+            prev_round_timed_out: false,
+            sink: None,
+            fleet,
         })
     }
 
     /// Arm a fault plan for the dynamic mode.
     #[must_use = "the armed coordinator is returned by value"]
-    pub fn with_plan(mut self, plan: ClusterFaultPlan) -> Result<Self> {
+    pub fn with_plan(mut self, plan: FleetFaultPlan) -> Result<Self> {
         plan.validate()?;
         self.plan = plan;
         Ok(self)
+    }
+
+    /// Override the per-write retry policy (defaults to
+    /// [`RetryPolicy::no_backoff`], so fault storms replay at full
+    /// speed).
+    #[must_use = "the configured coordinator is returned by value"]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = RetryPolicy { max_attempts: retry.max_attempts.max(1), ..retry };
+        self
+    }
+
+    /// Override the health thresholds.
+    #[must_use = "the configured coordinator is returned by value"]
+    pub fn with_health_config(mut self, config: HealthConfig) -> Self {
+        self.health = HealthTracker::new(self.fleet.len(), config);
+        self
+    }
+
+    /// Land every successful cap write in `sink` as well (e.g. a mock
+    /// RAPL tree). A sink error counts as a failed attempt.
+    #[must_use = "the configured coordinator is returned by value"]
+    pub fn with_cap_sink(mut self, sink: Box<dyn CapSink + Send>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The fleet being coordinated.
@@ -291,6 +345,78 @@ impl ClusterCoordinator {
         self.global
     }
 
+    /// The node health tracker.
+    #[must_use]
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The precomputed degraded-mode partition.
+    #[must_use]
+    pub fn fallback(&self) -> &StaticFallback {
+        &self.fallback
+    }
+
+    /// Sum of the caps currently enforced.
+    #[must_use]
+    pub fn enforced_total(&self) -> Watts {
+        self.enforced.iter().copied().sum()
+    }
+
+    /// The caps currently enforced, node-indexed.
+    #[must_use]
+    pub fn enforced_caps(&self) -> &[Watts] {
+        &self.enforced
+    }
+
+    /// Which nodes are currently down.
+    #[must_use]
+    pub fn down_mask(&self) -> Vec<bool> {
+        self.down_until.iter().map(Option::is_some).collect()
+    }
+
+    /// Boot-time provisioning: program every node to its static
+    /// fallback share — through the sink when one is armed, with no
+    /// fault draws, because the experiment clock has not started — and
+    /// record the shares as enforced. The fallback sums to ≤ the global
+    /// budget by construction, so `Σ enforced ≤ global` holds from the
+    /// first tick instead of starting vacuously at zero.
+    #[must_use = "a failed provisioning write leaves the sink and coordinator disagreeing"]
+    pub fn provision(&mut self) -> Result<()> {
+        for i in 0..self.fleet.len() {
+            let share = self.fallback.share(i);
+            if let Some(sink) = self.sink.as_mut() {
+                sink.write_cap(i, share)?;
+            }
+            self.enforced[i] = share;
+        }
+        self.enforced_hist = self.enforced.clone();
+        Ok(())
+    }
+
+    /// Re-negotiate the global budget mid-run. Rejects non-finite,
+    /// non-positive, and below-fleet-floor budgets (counted under
+    /// `cluster.rejected_budgets`); an accepted budget recomputes the
+    /// static fallback so degraded mode stays safe under the new bound.
+    #[must_use = "a rejected budget means the old bound is still in force"]
+    pub fn set_global_budget(&mut self, budget: Watts) -> Result<()> {
+        if !budget.is_valid() || budget.value() <= 0.0 {
+            pbc_trace::counter(names::CLUSTER_REJECTED_BUDGETS).incr();
+            return Err(PbcError::InvalidInput(format!(
+                "global budget must be a positive finite wattage, got {budget:?}"
+            )));
+        }
+        let minimum = self.fleet.min_total_power();
+        if budget < minimum {
+            pbc_trace::counter(names::CLUSTER_REJECTED_BUDGETS).incr();
+            return Err(PbcError::BudgetTooSmall { requested: budget, minimum });
+        }
+        self.fallback = StaticFallback::compute(&self.fleet, budget)?;
+        self.global = budget;
+        pbc_trace::counter(names::CLUSTER_BUDGET_RESETS).incr();
+        Ok(())
+    }
+
     /// Water-fill the global budget and evaluate every node's share, on
     /// the global pool.
     #[must_use = "the decision result carries either the partition or the failure"]
@@ -298,7 +424,7 @@ impl ClusterCoordinator {
         self.coordinate_with_pool(Pool::global())
     }
 
-    /// [`ClusterCoordinator::coordinate`] on an explicit pool.
+    /// [`FleetCoordinator::coordinate`] on an explicit pool.
     #[must_use = "the decision result carries either the partition or the failure"]
     pub fn coordinate_with_pool(&self, pool: &Pool) -> Result<ClusterDecision> {
         let curves = self.node_curves();
@@ -315,7 +441,7 @@ impl ClusterCoordinator {
         self.uniform_decision_with_pool(Pool::global())
     }
 
-    /// [`ClusterCoordinator::uniform_decision`] on an explicit pool.
+    /// [`FleetCoordinator::uniform_decision`] on an explicit pool.
     #[must_use = "the decision result carries either the partition or the failure"]
     pub fn uniform_decision_with_pool(&self, pool: &Pool) -> Result<ClusterDecision> {
         let shares = uniform_split(self.fleet.len(), self.global);
@@ -336,40 +462,82 @@ impl ClusterCoordinator {
             .sum())
     }
 
-    /// One dynamic epoch on the global pool: advance the fault clock,
-    /// apply dropouts/recoveries, re-partition across live nodes,
-    /// re-coordinate, and enforce decreases-first under write faults.
+    /// One dynamic epoch on the global pool (see the module docs for
+    /// the pipeline).
     #[must_use = "the epoch result carries either the report or the failure"]
     pub fn step(&mut self) -> Result<EpochReport> {
         self.step_with_pool(Pool::global())
     }
 
-    /// [`ClusterCoordinator::step`] on an explicit pool.
+    /// [`FleetCoordinator::step`] on an explicit pool.
     #[must_use = "the epoch result carries either the report or the failure"]
     pub fn step_with_pool(&mut self, pool: &Pool) -> Result<EpochReport> {
         let tick = self.clock.advance();
         let n = self.fleet.len();
+
+        // Scheduled budget re-negotiations, factors of the initial
+        // budget. A rejection (e.g. a cut below the fleet floor) is
+        // counted and ignored — a lying schedule must not crash the
+        // fleet.
+        for k in 0..self.plan.budget_steps.len() {
+            let s = self.plan.budget_steps[k];
+            if s.at == tick {
+                let _ = self.set_global_budget(self.initial_global * s.factor);
+            }
+        }
+
         let (dropped, recovered) = self.roll_membership(tick);
+        self.roll_stragglers(tick);
+        self.roll_write_outages(tick);
         let down: Vec<bool> = self.down_until.iter().map(Option::is_some).collect();
         let up = down.iter().filter(|d| !**d).count();
 
-        // Re-partition across the live nodes only; down nodes target 0.
-        let live: Vec<usize> = (0..n).filter(|i| !down[*i]).collect();
-        let curves = self.node_curves();
-        let live_curves: Vec<NodeCurve<'_>> = live.iter().map(|&i| curves[i]).collect();
-        let live_shares = water_fill(&live_curves, self.global, self.grant)?;
+        // Reports describe the previous epoch; collect, validate, and
+        // fold the verdicts into the health machine.
+        let prev_enforced = self.enforced.clone();
+        let (missed_reports, rejected_reports) =
+            self.observe_reports(tick, &prev_enforced, &down);
+
+        // Decide the mode and the targets.
+        let mut degraded =
+            self.plan.coordinator_outage.active(tick) || self.prev_round_timed_out;
         let mut targets = vec![Watts::ZERO; n];
-        for (k, &i) in live.iter().enumerate() {
-            targets[i] = live_shares[k];
+        if !degraded && !self.fill_targets(&down, &mut targets) {
+            degraded = true;
+        }
+        if degraded {
+            pbc_trace::counter(names::CLUSTER_DEGRADED_EPOCHS).incr();
+            for i in 0..n {
+                if !down[i] {
+                    targets[i] = self.fallback.share(i);
+                }
+            }
         }
 
-        let decision = evaluate(&self.fleet, &targets, &down, pool)?;
-        let write_failures = self.enforce(tick, &targets, &down);
+        let mut decision = evaluate(&self.fleet, &targets, &down, pool)?;
+        // Stragglers run slow: their contribution shrinks by the plan's
+        // slowdown factor.
+        let mut dirty = false;
+        for i in 0..n {
+            if self.straggle_until[i].is_some() && !down[i] {
+                decision.perfs[i] *= self.plan.nodes.slowdown;
+                dirty = true;
+            }
+        }
+        if dirty {
+            decision.aggregate_perf = decision.perfs.iter().sum();
+        }
+
+        let stats = self.enforce_supervised(tick, &targets, &down);
+        self.prev_round_timed_out = stats.timed_out;
+        if stats.timed_out {
+            pbc_trace::counter(names::CLUSTER_ROUND_TIMEOUTS).incr();
+        }
 
         // The budget invariant. Decreases-first makes a violation
         // structurally impossible; the counter is the proof the trace
         // carries out to the chaos assertions.
-        let enforced_total = self.enforced.iter().fold(Watts::ZERO, |a, w| a + *w);
+        let enforced_total = self.enforced_total();
         if enforced_total.value() > self.global.value() + EPS_W {
             pbc_trace::counter(names::CLUSTER_BUDGET_VIOLATIONS).incr();
         }
@@ -384,21 +552,47 @@ impl ClusterCoordinator {
             pbc_trace::counter(names::CLUSTER_REDISTRIBUTIONS).incr();
         }
         self.prev_targets = targets;
+        self.enforced_hist = prev_enforced;
+        self.last_perfs = decision.perfs.clone();
 
+        // Watts the healthy pool gained from nodes that are down or
+        // held at their floors, measured against the known-safe static
+        // partition.
+        let reclaimed: Watts = (0..n)
+            .filter(|&i| {
+                down[i]
+                    || matches!(
+                        self.health.state(i),
+                        NodeHealth::Quarantined | NodeHealth::Rejoining
+                    )
+            })
+            .map(|i| (self.fallback.share(i) - self.enforced[i]).max(Watts::ZERO))
+            .sum();
+
+        let health = self.health.counts();
         pbc_trace::counter(names::CLUSTER_EPOCHS).incr();
         pbc_trace::gauge(names::CLUSTER_NODES_UP).set(up as f64);
         pbc_trace::gauge(names::CLUSTER_MOVED_W).set(moved.value());
         pbc_trace::gauge(names::CLUSTER_AGGREGATE_PERF).set(decision.aggregate_perf);
+        pbc_trace::gauge(names::CLUSTER_RECLAIMED_W).set(reclaimed.value());
+        pbc_trace::gauge(names::HEALTH_HEALTHY_NODES).set(health.healthy as f64);
 
         Ok(EpochReport {
             tick,
             nodes_up: up,
             dropped,
             recovered,
-            write_failures,
+            write_failures: stats.failures,
+            write_retries: stats.retries,
+            missed_reports,
+            rejected_reports,
+            degraded,
+            round_timed_out: stats.timed_out,
+            health,
             aggregate_perf: decision.aggregate_perf,
             enforced_total,
             moved,
+            reclaimed,
         })
     }
 
@@ -408,29 +602,56 @@ impl ClusterCoordinator {
         self.run_with_pool(epochs, Pool::global())
     }
 
-    /// [`ClusterCoordinator::run`] on an explicit pool.
+    /// [`FleetCoordinator::run`] on an explicit pool.
     #[must_use = "the run result carries either the survival report or the failure"]
     pub fn run_with_pool(&mut self, epochs: usize, pool: &Pool) -> Result<ClusterReport> {
+        let n = self.fleet.len();
+        let quiet = self.plan.quiet_after();
+        let tally_before = self.health.tally();
+        let leaks_before = pbc_trace::counter(names::HEALTH_QUARANTINE_LEAKS).get();
         let mut report = ClusterReport {
-            min_nodes_up: self.fleet.len(),
+            min_nodes_up: n,
             ..ClusterReport::default()
         };
-        let mut perf_sum = 0.0;
+        let mut healthy_node_epochs = 0usize;
         for _ in 0..epochs {
             let e = self.step_with_pool(pool)?;
             report.epochs += 1;
             report.dropouts += e.dropped;
             report.recoveries += e.recovered;
             report.write_failures += e.write_failures;
+            report.write_retries += e.write_retries;
+            report.missed_reports += e.missed_reports;
+            report.rejected_reports += e.rejected_reports;
+            if e.degraded {
+                report.degraded_epochs += 1;
+            }
+            if e.round_timed_out {
+                report.round_timeouts += 1;
+            }
             if e.enforced_total.value() > self.global.value() + EPS_W {
                 report.budget_violations += 1;
             }
             report.min_nodes_up = report.min_nodes_up.min(e.nodes_up);
             report.final_aggregate = e.aggregate_perf;
-            perf_sum += e.aggregate_perf;
+            report.work_done += e.aggregate_perf;
+            healthy_node_epochs += e.health.healthy;
+            if report.reconverged_at.is_none()
+                && e.tick >= quiet
+                && !e.degraded
+                && e.health.healthy == n
+            {
+                report.reconverged_at = Some(e.tick);
+            }
         }
+        let tally = self.health.tally();
+        report.quarantines = tally.quarantines - tally_before.quarantines;
+        report.rejoins = tally.rejoins - tally_before.rejoins;
+        report.quarantine_leaks = (pbc_trace::counter(names::HEALTH_QUARANTINE_LEAKS).get()
+            - leaks_before) as usize;
         if report.epochs > 0 {
-            report.mean_aggregate = perf_sum / report.epochs as f64;
+            report.mean_aggregate = report.work_done / report.epochs as f64;
+            report.availability = healthy_node_epochs as f64 / (report.epochs * n.max(1)) as f64;
         }
         Ok(report)
     }
@@ -446,7 +667,7 @@ impl ClusterCoordinator {
             .collect()
     }
 
-    /// Dropout/recovery decisions for this tick. Each node draws from a
+    /// Crash/rejoin decisions for this tick. Each node draws from a
     /// fresh generator keyed `(seed, tick, STREAM_NODE, node)` — the
     /// inject.rs contract — so membership replays bit-identically.
     fn roll_membership(&mut self, tick: usize) -> (usize, usize) {
@@ -461,13 +682,11 @@ impl ClusterCoordinator {
                 }
                 continue;
             }
-            if self.plan.dropout_prob > 0.0 && self.plan.dropout_window.active(tick) {
-                let stream = STREAM_NODE ^ (i as u64).wrapping_mul(GOLDEN);
-                let mut rng = XorShift64Star::new(
-                    self.plan.seed ^ (tick as u64).wrapping_mul(GOLDEN) ^ stream,
-                );
-                if rng.next_f64() < self.plan.dropout_prob {
-                    self.down_until[i] = Some(tick + self.plan.outage_epochs.max(1));
+            let faults = &self.plan.nodes;
+            if faults.crash_prob > 0.0 && faults.crash_window.active(tick) {
+                let mut rng = decision_rng(self.plan.seed, tick, STREAM_NODE, i as u64);
+                if rng.next_f64() < faults.crash_prob {
+                    self.down_until[i] = Some(tick + faults.outage_epochs.max(1));
                     dropped += 1;
                     pbc_trace::counter(names::CLUSTER_DROPOUTS).incr();
                 }
@@ -476,30 +695,221 @@ impl ClusterCoordinator {
         (dropped, recovered)
     }
 
-    /// Move enforced caps toward `targets`, decreases first. A down
-    /// node's cap releases unconditionally (its draw is gone whether or
-    /// not a write lands); a failed decrease keeps its watts reserved;
-    /// raises are funded strictly from the pot the decreases left, so
-    /// `Σ enforced ≤ global` is an invariant, not an aspiration.
-    fn enforce(&mut self, tick: usize, targets: &[Watts], down: &[bool]) -> usize {
-        let mut failures = 0;
-        for i in 0..targets.len() {
+    /// Straggler onset/expiry for this tick. A down node cannot also
+    /// straggle; a straggler that crashes stays down-dominated.
+    fn roll_stragglers(&mut self, tick: usize) {
+        let faults = self.plan.nodes;
+        for i in 0..self.straggle_until.len() {
+            if let Some(until) = self.straggle_until[i] {
+                if tick >= until {
+                    self.straggle_until[i] = None;
+                }
+                continue;
+            }
+            if faults.straggler_prob > 0.0
+                && faults.straggler_window.active(tick)
+                && self.down_until[i].is_none()
+            {
+                let mut rng = decision_rng(self.plan.seed, tick, STREAM_STRAGGLE, i as u64);
+                if rng.next_f64() < faults.straggler_prob {
+                    self.straggle_until[i] = Some(tick + faults.straggle_epochs.max(1));
+                }
+            }
+        }
+    }
+
+    /// Per-node cap-write-path outage onset/expiry for this tick.
+    fn roll_write_outages(&mut self, tick: usize) {
+        let faults = self.plan.writes;
+        for i in 0..self.write_outage_until.len() {
+            if let Some(until) = self.write_outage_until[i] {
+                if tick >= until {
+                    self.write_outage_until[i] = None;
+                }
+                continue;
+            }
+            if faults.outage_prob > 0.0 && faults.outage_window.active(tick) {
+                let mut rng = decision_rng(self.plan.seed, tick, STREAM_WRITE_OUTAGE, i as u64);
+                if rng.next_f64() < faults.outage_prob {
+                    self.write_outage_until[i] = Some(tick + faults.outage_epochs.max(1));
+                }
+            }
+        }
+    }
+
+    /// Simulate, validate, and ingest every node's observation report.
+    /// Returns `(missed, rejected)` counts for the epoch.
+    fn observe_reports(
+        &mut self,
+        tick: usize,
+        prev_enforced: &[Watts],
+        down: &[bool],
+    ) -> (usize, usize) {
+        let mut missed = 0;
+        let mut rejected = 0;
+        for i in 0..self.fleet.len() {
+            let verdict = self.node_report_verdict(tick, i, prev_enforced, down[i]);
+            match verdict {
+                ReportVerdict::Missing => {
+                    missed += 1;
+                    pbc_trace::counter(names::CLUSTER_MISSED_REPORTS).incr();
+                }
+                ReportVerdict::Rejected => {
+                    rejected += 1;
+                    pbc_trace::counter(names::CLUSTER_REJECTED_REPORTS).incr();
+                }
+                ReportVerdict::Accepted => {}
+            }
+            self.health.observe(i, verdict);
+        }
+        (missed, rejected)
+    }
+
+    /// One node's report for this epoch, faults applied, then passed
+    /// through the same validation gate `OnlineCoordinator` applies to
+    /// observations: non-finite, out-of-range, and stale-cap rejection.
+    fn node_report_verdict(
+        &self,
+        tick: usize,
+        node: usize,
+        prev_enforced: &[Watts],
+        down: bool,
+    ) -> ReportVerdict {
+        if down {
+            return ReportVerdict::Missing;
+        }
+        // The honest report: the cap the node ran on last epoch and the
+        // throughput it measured. A straggler lags one epoch further
+        // behind, so its cap snapshot is one epoch staler.
+        let mut cap = prev_enforced[node];
+        let mut perf = self.last_perfs[node];
+        if self.straggle_until[node].is_some() {
+            cap = self.enforced_hist[node];
+        }
+        let faults = self.plan.reports;
+        if faults.window.active(tick) {
+            let mut rng = decision_rng(self.plan.seed, tick, STREAM_REPORT, node as u64);
+            let u = rng.next_f64();
+            if u < faults.drop_prob {
+                return ReportVerdict::Missing;
+            } else if u < faults.drop_prob + faults.delay_prob {
+                cap = self.enforced_hist[node];
+            } else if u < faults.drop_prob + faults.delay_prob + faults.garble_prob {
+                let g = rng.next_f64();
+                if g < 1.0 / 3.0 {
+                    perf = f64::NAN;
+                } else if g < 2.0 / 3.0 {
+                    perf = 1.0e9;
+                } else {
+                    cap = Watts::new(-5.0);
+                }
+            }
+        }
+        // The validation gate (mirrors `OnlineCoordinator::validate`).
+        if !perf.is_finite() || perf < 0.0 {
+            return ReportVerdict::Rejected;
+        }
+        if perf > MAX_CREDIBLE_PERF || !cap.is_valid() {
+            return ReportVerdict::Rejected;
+        }
+        if (cap - prev_enforced[node]).abs().value() > STALE_CAP_TOLERANCE {
+            return ReportVerdict::Rejected;
+        }
+        ReportVerdict::Accepted
+    }
+
+    /// Water-fill targets over the trusted membership. Healthy and
+    /// Suspect nodes participate; Quarantined and Rejoining nodes are
+    /// reserved at their class floors (a possibly-alive node is never
+    /// starved below its floor); Suspects are then capped at their
+    /// standing grant so untrusted telemetry cannot win raises. Returns
+    /// `false` when the fill is infeasible — the caller degrades.
+    fn fill_targets(&self, down: &[bool], targets: &mut [Watts]) -> bool {
+        let n = self.fleet.len();
+        let curves = self.node_curves();
+        let mut allocatable = Vec::new();
+        let mut reserved = Watts::ZERO;
+        for i in 0..n {
+            if down[i] {
+                continue;
+            }
+            match self.health.state(i) {
+                NodeHealth::Healthy | NodeHealth::Suspect => allocatable.push(i),
+                NodeHealth::Quarantined | NodeHealth::Rejoining => {
+                    let floor = self.fleet.class_of(i).floor;
+                    targets[i] = floor;
+                    reserved += floor;
+                }
+            }
+        }
+        if reserved > self.global {
+            return false;
+        }
+        if allocatable.is_empty() {
+            return true;
+        }
+        let avail = self.global - reserved;
+        let live_curves: Vec<NodeCurve<'_>> = allocatable.iter().map(|&i| curves[i]).collect();
+        let shares = match water_fill(&live_curves, avail, self.grant) {
+            Ok(s) => s,
+            Err(e) if e.is_infeasible() => return false,
+            // Water-fill only fails on infeasibility today; treat
+            // anything else the same way — degraded is the safe floor.
+            Err(_) => return false,
+        };
+        for (k, &i) in allocatable.iter().enumerate() {
+            targets[i] = shares[k];
+            if self.health.state(i) == NodeHealth::Suspect {
+                // No raises on untrusted telemetry: hold at the larger
+                // of the standing cap and the floor. The clamped watts
+                // stay unspent this epoch — the safe direction.
+                let hold = self.enforced[i].max(self.fleet.class_of(i).floor);
+                targets[i] = targets[i].min(hold);
+            }
+        }
+        true
+    }
+
+    /// Move enforced caps toward `targets`, decreases first, each write
+    /// supervised by the retry policy under a per-round attempt
+    /// deadline. A down node's cap releases unconditionally (its draw
+    /// is gone whether or not a write lands); a failed decrease keeps
+    /// its watts reserved; raises are funded strictly from the pot the
+    /// confirmed decreases left, so `Σ enforced ≤ global` is an
+    /// invariant, not an aspiration.
+    fn enforce_supervised(&mut self, tick: usize, targets: &[Watts], down: &[bool]) -> WriteStats {
+        let n = targets.len();
+        let mut stats = WriteStats::default();
+        // The round's write-attempt deadline: enough for every node's
+        // write to retry once on average. A fault storm that needs more
+        // is a timed-out round, not a wedged fleet.
+        let mut attempts_left = n * (self.retry.max_attempts as usize).max(1);
+
+        // Phase 1: releases.
+        for i in 0..n {
             if down[i] {
                 self.enforced[i] = Watts::ZERO;
                 continue;
             }
             if targets[i] < self.enforced[i] {
-                if self.write_fails(tick, i, targets[i]) {
-                    failures += 1;
-                    pbc_trace::counter(names::CLUSTER_WRITE_FAILURES).incr();
-                } else {
+                if stats.timed_out {
+                    continue; // watts stay reserved — the safe direction
+                }
+                if self.try_write(tick, i, targets[i], &mut attempts_left, &mut stats) {
                     self.enforced[i] = targets[i];
                 }
             }
         }
-        let spent = self.enforced.iter().fold(Watts::ZERO, |a, w| a + *w);
-        let mut pot = (self.global - spent).max(Watts::ZERO);
-        for i in 0..targets.len() {
+
+        // Phase 2: raises, funded only by what phase 1 actually freed.
+        let spent = self.enforced_total();
+        let pot_legit = (self.global - spent).max(Watts::ZERO);
+        let mut pot = pot_legit;
+        let mut raised = Watts::ZERO;
+        for i in 0..n {
+            if stats.timed_out {
+                break;
+            }
             if down[i] || targets[i] <= self.enforced[i] {
                 continue;
             }
@@ -509,26 +919,78 @@ impl ClusterCoordinator {
                 continue;
             }
             let next = self.enforced[i] + raise;
-            if self.write_fails(tick, i, next) {
-                failures += 1;
-                pbc_trace::counter(names::CLUSTER_WRITE_FAILURES).incr();
-            } else {
+            if self.try_write(tick, i, next, &mut attempts_left, &mut stats) {
                 self.enforced[i] = next;
                 pot = pot - raise;
+                raised += raise;
             }
         }
-        failures
+
+        // The leak audit: raises applied must never exceed the pot the
+        // confirmed decreases legitimately left. Structurally zero —
+        // the counter is the exported proof.
+        if raised.value() > pot_legit.value() + EPS_W {
+            pbc_trace::counter(names::HEALTH_QUARANTINE_LEAKS).incr();
+        }
+        stats
     }
 
-    fn write_fails(&self, tick: usize, node: usize, target: Watts) -> bool {
-        if self.plan.write_fail_prob <= 0.0 || !self.plan.write_window.active(tick) {
+    /// One supervised cap write: up to `max_attempts` tries against the
+    /// plan's fault draw (and the sink, when armed), spending from the
+    /// round's shared attempt budget. Returns `true` when the write
+    /// landed.
+    fn try_write(
+        &mut self,
+        tick: usize,
+        node: usize,
+        target: Watts,
+        attempts_left: &mut usize,
+        stats: &mut WriteStats,
+    ) -> bool {
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if *attempts_left == 0 {
+                stats.timed_out = true;
+                return false;
+            }
+            *attempts_left -= 1;
+            if attempt > 0 {
+                stats.retries += 1;
+                pbc_trace::counter(names::CLUSTER_WRITE_RETRIES).incr();
+                let ms = self.retry.backoff_ms(attempt - 1);
+                if ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+            if self.write_attempt_fails(tick, node, target, attempt) {
+                continue;
+            }
+            if let Some(sink) = self.sink.as_mut() {
+                if sink.write_cap(node, target).is_err() {
+                    continue;
+                }
+            }
+            return true;
+        }
+        stats.failures += 1;
+        pbc_trace::counter(names::CLUSTER_WRITE_FAILURES).incr();
+        false
+    }
+
+    /// Does this write attempt fail under the plan? An active per-node
+    /// write outage fails every attempt (retries cannot absorb it);
+    /// stochastic failures re-draw per attempt, so retries can.
+    fn write_attempt_fails(&self, tick: usize, node: usize, target: Watts, attempt: u32) -> bool {
+        if self.write_outage_until[node].is_some() {
+            return true;
+        }
+        let faults = self.plan.writes;
+        if faults.fail_prob <= 0.0 || !faults.window.active(tick) {
             return false;
         }
         let key = write_key(&format!("cluster.node{node}"), target);
         let stream = STREAM_CAP ^ key.wrapping_mul(GOLDEN);
-        let mut rng =
-            XorShift64Star::new(self.plan.seed ^ (tick as u64).wrapping_mul(GOLDEN) ^ stream);
-        rng.next_f64() < self.plan.write_fail_prob
+        let mut rng = decision_rng(self.plan.seed, tick, stream, u64::from(attempt));
+        rng.next_f64() < faults.fail_prob
     }
 }
 
@@ -609,6 +1071,7 @@ fn eval_node(
 mod tests {
     use super::*;
     use crate::fleet::parse_spec;
+    use pbc_faults::FaultWindow;
 
     fn mixed_fleet() -> Fleet {
         let spec = parse_spec(
@@ -624,7 +1087,7 @@ mod tests {
     fn coordinated_beats_uniform_on_a_mixed_fleet() {
         let fleet = mixed_fleet();
         let global = fleet.min_total_power() + Watts::new(220.0);
-        let coord = ClusterCoordinator::new(fleet, global).unwrap();
+        let coord = FleetCoordinator::new(fleet, global).unwrap();
         let smart = coord.coordinate().unwrap();
         let naive = coord.uniform_decision().unwrap();
         let total: f64 = smart.shares.iter().map(|s| s.value()).sum();
@@ -641,7 +1104,7 @@ mod tests {
     fn budget_below_the_fleet_floor_is_refused() {
         let fleet = mixed_fleet();
         let too_small = fleet.min_total_power() - Watts::new(1.0);
-        assert!(ClusterCoordinator::new(fleet, too_small).is_err());
+        assert!(FleetCoordinator::new(fleet, too_small).is_err());
     }
 
     #[test]
@@ -649,27 +1112,101 @@ mod tests {
         let fleet = mixed_fleet();
         let global = fleet.min_total_power() + Watts::new(150.0);
         let n = fleet.len();
-        let mut coord = ClusterCoordinator::new(fleet, global).unwrap();
+        let mut coord = FleetCoordinator::new(fleet, global).unwrap();
         let report = coord.run(6).unwrap();
         assert!(report.survived());
         assert_eq!(report.min_nodes_up, n);
         assert_eq!(report.dropouts, 0);
+        assert_eq!(report.degraded_epochs, 0);
+        assert!((report.availability - 1.0).abs() < 1e-12);
         assert!(report.final_aggregate > 0.0);
+        assert_eq!(report.reconverged_at, Some(0), "a calm run is converged from tick 0");
     }
 
     #[test]
-    fn dropouts_fire_and_the_budget_invariant_holds() {
+    fn crashes_quarantine_reclaim_and_rejoin() {
         let fleet = mixed_fleet();
         let global = fleet.min_total_power() + Watts::new(150.0);
-        let mut coord = ClusterCoordinator::new(fleet, global)
+        let mut coord = FleetCoordinator::new(fleet, global)
             .unwrap()
-            .with_plan(ClusterFaultPlan::everything(7))
+            .with_plan(FleetFaultPlan::node_crash(7))
             .unwrap();
-        let report = coord.run(40).unwrap();
-        assert!(report.dropouts > 0, "the everything plan at seed 7 should drop nodes");
-        assert!(report.recoveries > 0, "dropped nodes should rejoin");
-        assert_eq!(report.budget_violations, 0, "decreases-first must hold the cap");
+        let quiet = FleetFaultPlan::node_crash(7).quiet_after();
+        let report = coord.run(quiet + 12).unwrap();
+        assert!(report.dropouts > 0, "node-crash at seed 7 should drop nodes");
+        assert!(report.recoveries > 0, "crashed nodes should come back");
+        assert!(report.quarantines > 0, "silent nodes must be quarantined");
+        assert!(report.rejoins > 0, "returning nodes must pass through Rejoining");
+        assert!(report.missed_reports > 0, "down nodes send nothing");
+        assert_eq!(report.budget_violations, 0);
+        assert_eq!(report.quarantine_leaks, 0);
         assert!(report.survived());
+        assert!(
+            report.reconverged_at.is_some(),
+            "the fleet must reconverge to all-Healthy after the plan goes quiet"
+        );
+        assert!(report.availability < 1.0, "crashes must dent availability");
+    }
+
+    #[test]
+    fn everything_plan_survives_with_health_and_degraded_epochs() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let plan = FleetFaultPlan::everything(7);
+        let quiet = plan.quiet_after();
+        let mut coord = FleetCoordinator::new(fleet, global)
+            .unwrap()
+            .with_plan(plan)
+            .unwrap();
+        let report = coord.run(quiet + 12).unwrap();
+        assert!(report.dropouts > 0);
+        assert!(report.degraded_epochs > 0, "the coordinator outage must degrade epochs");
+        assert!(report.rejected_reports > 0, "garbled reports must be rejected");
+        assert_eq!(report.budget_violations, 0, "decreases-first must hold the cap");
+        assert_eq!(report.quarantine_leaks, 0);
+        assert!(report.survived());
+    }
+
+    #[test]
+    fn coordinator_outage_serves_the_fallback_partition() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let plan = FleetFaultPlan {
+            coordinator_outage: FaultWindow::new(0, 3),
+            ..FleetFaultPlan::calm(1)
+        };
+        let mut coord = FleetCoordinator::new(fleet, global)
+            .unwrap()
+            .with_plan(plan)
+            .unwrap();
+        let fallback_total = coord.fallback().total();
+        let e = coord.step().unwrap();
+        assert!(e.degraded);
+        assert!(e.enforced_total <= global + Watts::new(1e-6));
+        assert!((e.enforced_total.value() - fallback_total.value()).abs() < 1e-6);
+        let report = coord.run(5).unwrap();
+        assert_eq!(report.degraded_epochs, 2, "outage covers ticks 1 and 2 of the run");
+        assert!(report.survived());
+    }
+
+    #[test]
+    fn budget_cut_mid_run_is_applied_and_bad_budgets_are_rejected() {
+        let fleet = mixed_fleet();
+        let floor = fleet.min_total_power();
+        let global = floor + Watts::new(150.0);
+        let mut coord = FleetCoordinator::new(fleet, global).unwrap();
+        let _ = coord.run(3).unwrap();
+        let cut = floor + Watts::new(40.0);
+        coord.set_global_budget(cut).unwrap();
+        assert_eq!(coord.global_budget(), cut);
+        let report = coord.run(4).unwrap();
+        assert_eq!(report.budget_violations, 0);
+        assert!(coord.enforced_total() <= cut + Watts::new(1e-6));
+        // Garbage budgets are typed rejections, not panics.
+        assert!(coord.set_global_budget(Watts::new(f64::NAN)).is_err());
+        assert!(coord.set_global_budget(Watts::new(-5.0)).is_err());
+        assert!(coord.set_global_budget(floor - Watts::new(1.0)).is_err());
+        assert_eq!(coord.global_budget(), cut, "rejected budgets must not stick");
     }
 
     #[test]
@@ -678,9 +1215,9 @@ mod tests {
         let global = fleet.min_total_power() + Watts::new(150.0);
         let run = |threads: usize| {
             let pool = Pool::new(threads);
-            let mut coord = ClusterCoordinator::new(fleet.clone(), global)
+            let mut coord = FleetCoordinator::new(fleet.clone(), global)
                 .unwrap()
-                .with_plan(ClusterFaultPlan::everything(11))
+                .with_plan(FleetFaultPlan::everything(11))
                 .unwrap();
             coord.run_with_pool(30, &pool).unwrap()
         };
@@ -690,14 +1227,24 @@ mod tests {
     }
 
     #[test]
-    fn plan_presets_parse_and_validate() {
-        for name in PLAN_NAMES {
-            let plan = ClusterFaultPlan::by_name(name, 3).unwrap();
-            plan.validate().unwrap();
-            assert_eq!(plan.name, name);
-        }
-        assert!(ClusterFaultPlan::by_name("nope", 3).is_none());
-        let bad = ClusterFaultPlan { dropout_prob: 1.5, ..ClusterFaultPlan::calm(1) };
-        assert!(bad.validate().is_err());
+    fn stragglers_dent_throughput_and_get_quarantined() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let plan = FleetFaultPlan::stragglers(5);
+        let quiet = plan.quiet_after();
+        let mut coord = FleetCoordinator::new(fleet.clone(), global)
+            .unwrap()
+            .with_plan(plan)
+            .unwrap();
+        let report = coord.run(quiet + 8).unwrap();
+        assert!(report.survived());
+        let mut calm = FleetCoordinator::new(fleet, global).unwrap();
+        let baseline = calm.run(quiet + 8).unwrap();
+        assert!(
+            report.work_done < baseline.work_done,
+            "straggling epochs must do less work than the calm run ({} vs {})",
+            report.work_done,
+            baseline.work_done
+        );
     }
 }

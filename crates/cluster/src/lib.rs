@@ -19,24 +19,45 @@
 //!   toward nodes still on the steep part of their curve;
 //! * [`fleet::Fleet`] — heterogeneous node specs (`COUNT PLATFORM
 //!   BENCH` text lines), deduplicated into profiled classes;
-//! * [`coordinator::ClusterCoordinator`] — water-fill, then per-node
+//! * [`coordinator::FleetCoordinator`] — water-fill, then per-node
 //!   COORD and memo-priced simulation fanned out on the `pbc-par`
-//!   pool; a dynamic mode replays node dropouts and cap-write failures
-//!   under the `pbc-faults` determinism contract, with decreases-first
-//!   enforcement keeping `Σ enforced ≤ global` invariant.
+//!   pool; a dynamic mode replays `pbc_faults::FleetFaultPlan`
+//!   scenarios (crashes, stragglers, report loss, write outages,
+//!   coordinator outages, budget steps) under the determinism
+//!   contract, with decreases-first enforcement keeping
+//!   `Σ enforced ≤ global` invariant;
+//! * [`health::HealthTracker`] — the per-node Healthy → Suspect →
+//!   Quarantined → Rejoining machine driven by validated observation
+//!   reports;
+//! * [`degrade::StaticFallback`] — the precomputed partition every
+//!   node falls back to when coordination is unavailable, summing ≤
+//!   the global budget by construction;
+//! * [`chaos::run_cluster_chaos`] — the end-to-end harness: a fleet, a
+//!   plan, a mock RAPL tree as the cap sink, and a survival report.
 //!
-//! Everything emits `cluster.*` trace counters/gauges (see
-//! `docs/OBSERVABILITY.md`); `cluster.budget_violations == 0` is the
-//! survival criterion chaos runs assert from real trace files.
+//! Everything emits `cluster.*`/`health.*` trace counters/gauges (see
+//! `docs/OBSERVABILITY.md`); `cluster.budget_violations == 0` and
+//! `health.quarantine_leaks == 0` are the survival criteria chaos runs
+//! assert from real trace files.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod curve;
+pub mod degrade;
 pub mod fleet;
+pub mod health;
 pub mod partition;
 
+pub use chaos::{run_cluster_chaos, ClusterChaosReport};
 pub use coordinator::{
-    ClusterCoordinator, ClusterDecision, ClusterFaultPlan, ClusterReport, EpochReport, PLAN_NAMES,
+    CapSink, ClusterCoordinator, ClusterDecision, ClusterReport, EpochReport, FleetCoordinator,
 };
 pub use curve::{node_ceiling, node_floor, PerfCurve, SAMPLE_STEP};
+pub use degrade::StaticFallback;
 pub use fleet::{parse_spec, ClassCoord, Fleet, NodeClass, SpecLine};
+pub use health::{HealthConfig, HealthCounts, HealthTally, HealthTracker, NodeHealth, ReportVerdict};
 pub use partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};
+
+/// The fleet fault-plan preset names, re-exported so CLI callers can
+/// list them without depending on `pbc-faults` directly.
+pub use pbc_faults::FLEET_PLAN_NAMES as PLAN_NAMES;

@@ -35,6 +35,7 @@ pub struct EfficiencyPoint {
 }
 
 /// Sweep budgets and compute the efficiency of the optimum at each.
+#[must_use = "the efficiency points are the computation's entire result"]
 pub fn efficiency_curve(
     template: &PowerBoundedProblem,
     budgets: impl IntoIterator<Item = Watts>,

@@ -30,8 +30,10 @@ const SIZES: [usize; 3] = [8, 32, 128];
 /// choices to make.
 const WATTS_PER_NODE: f64 = 130.0;
 
-/// Build an `n`-node fleet cycling through the class mix.
-fn fleet_of(n: usize) -> Result<Fleet> {
+/// Build an `n`-node fleet cycling through the class mix (ext8 reuses
+/// the same fleets for its survival table).
+#[must_use = "building a fleet profiles its classes; the result is the point"]
+pub(crate) fn fleet_of(n: usize) -> Result<Fleet> {
     let mut spec = Vec::new();
     for (i, (platform, bench)) in MIX.iter().enumerate() {
         let count = n / MIX.len() + usize::from(i < n % MIX.len());

@@ -23,6 +23,7 @@
 //! | [`ext5`] | *extension*: RQ4 quantified — acceptable budget bands and efficiency curves |
 //! | [`ext6`] | *extension*: chaos survival — the online loop under every shipped fault plan |
 //! | [`ext7`] | *extension*: cluster-scale coordination — COORD vs uniform split vs oracle at 8/32/128 nodes |
+//! | [`ext8`] | *extension*: fleet fault tolerance — availability, reconvergence, and work retained under chaos plans |
 //!
 //! Every experiment returns an [`output::ExperimentOutput`]: rendered text
 //! tables for the terminal plus CSV series for downstream plotting. The
@@ -36,6 +37,7 @@ pub mod ext4;
 pub mod ext5;
 pub mod ext6;
 pub mod ext7;
+pub mod ext8;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -53,9 +55,9 @@ pub use output::{ExperimentOutput, TextTable};
 use pbc_types::Result;
 
 /// Every experiment by name, in paper order.
-pub const EXPERIMENTS: [&str; 19] = [
+pub const EXPERIMENTS: [&str; 20] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
-    "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+    "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
 ];
 
 /// Run one experiment by name.
@@ -81,6 +83,7 @@ pub fn run(name: &str) -> Result<ExperimentOutput> {
         "ext5" => ext5::run(),
         "ext6" => ext6::run(),
         "ext7" => ext7::run(),
+        "ext8" => ext8::run(),
         other => Err(pbc_types::PbcError::NotFound(format!(
             "experiment {other}; known: {}",
             EXPERIMENTS.join(", ")

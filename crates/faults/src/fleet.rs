@@ -1,0 +1,526 @@
+//! Fleet-scale fault plans: what goes wrong *between* nodes, when.
+//!
+//! [`crate::plan::FaultPlan`] describes a single node's bad day —
+//! sensor lies, cap-write failures, budget moves. A [`FleetFaultPlan`]
+//! is the layer above it: whole nodes crash and rejoin, observation
+//! reports are dropped, delayed, or garbled on their way to the global
+//! coordinator, individual nodes lose their cap-write path for a
+//! stretch, stragglers run slow, and the coordinator itself can become
+//! unavailable. The same determinism contract applies: the plan is pure
+//! data (probabilities confined to half-open tick windows, scheduled
+//! budget steps), and every draw comes from a fresh generator keyed on
+//! `(seed, tick, stream, node)` — see [`crate::inject::decision_rng`] —
+//! so a fleet chaos run replays bit-identically at any thread count.
+//!
+//! Shipped presets keep budget steps *outside* every write-fault window
+//! (the same structural discipline as the single-node plans), which is
+//! what lets `cluster.budget_violations == 0` hold at every seed. The
+//! adversarial overlap — a budget cut landing while a quarantined
+//! node's decrease cannot be written — is exercised separately by the
+//! property tests with the weaker caps-never-inflate guarantee.
+
+use crate::plan::{BudgetStep, FaultWindow};
+use pbc_types::{PbcError, Result};
+
+/// Node membership faults: crashes (and the rejoin after), plus
+/// straggler slowdowns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaults {
+    /// Per-node, per-epoch probability of crashing while the crash
+    /// window is active.
+    pub crash_prob: f64,
+    /// Epochs `[from, until)` during which crashes can fire.
+    pub crash_window: FaultWindow,
+    /// How many epochs a crashed node stays down before rejoining.
+    pub outage_epochs: usize,
+    /// Per-node, per-epoch probability of turning straggler while the
+    /// straggler window is active.
+    pub straggler_prob: f64,
+    /// Epochs `[from, until)` during which stragglers can appear.
+    pub straggler_window: FaultWindow,
+    /// How many epochs a straggler stays slow.
+    pub straggle_epochs: usize,
+    /// Throughput multiplier while straggling (e.g. `0.3` = runs at
+    /// 30 % speed and its reports lag an epoch behind).
+    pub slowdown: f64,
+}
+
+impl NodeFaults {
+    /// No membership faults, ever.
+    pub const NONE: Self = Self {
+        crash_prob: 0.0,
+        crash_window: FaultWindow::NEVER,
+        outage_epochs: 0,
+        straggler_prob: 0.0,
+        straggler_window: FaultWindow::NEVER,
+        straggle_epochs: 0,
+        slowdown: 1.0,
+    };
+}
+
+/// Faults on the observation reports nodes send the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportFaults {
+    /// Probability an in-window report never arrives.
+    pub drop_prob: f64,
+    /// Probability an in-window report arrives one epoch late (stale:
+    /// it describes the previous epoch's caps).
+    pub delay_prob: f64,
+    /// Probability an in-window report arrives garbled (non-finite or
+    /// absurd fields that validation must reject).
+    pub garble_prob: f64,
+    /// When report faults are armed.
+    pub window: FaultWindow,
+}
+
+impl ReportFaults {
+    /// Reports always arrive clean.
+    pub const NONE: Self = Self {
+        drop_prob: 0.0,
+        delay_prob: 0.0,
+        garble_prob: 0.0,
+        window: FaultWindow::NEVER,
+    };
+}
+
+/// Faults on the per-node cap-write path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetWriteFaults {
+    /// Per-attempt probability of a cap write failing while the write
+    /// window is active (independent per retry, so retries can absorb
+    /// it).
+    pub fail_prob: f64,
+    /// When stochastic write failures are armed.
+    pub window: FaultWindow,
+    /// Per-node, per-epoch probability of the node's *entire* cap-write
+    /// path going down (every write fails until the outage ends).
+    pub outage_prob: f64,
+    /// How many epochs a write outage lasts.
+    pub outage_epochs: usize,
+    /// When write outages can begin.
+    pub outage_window: FaultWindow,
+}
+
+impl FleetWriteFaults {
+    /// Cap writes always land.
+    pub const NONE: Self = Self {
+        fail_prob: 0.0,
+        window: FaultWindow::NEVER,
+        outage_prob: 0.0,
+        outage_epochs: 0,
+        outage_window: FaultWindow::NEVER,
+    };
+}
+
+/// A complete, replayable fleet fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultPlan {
+    /// Preset name (for reports and the CLI).
+    pub name: &'static str,
+    /// Seed all draws derive from.
+    pub seed: u64,
+    /// Node crashes, rejoins, and stragglers.
+    pub nodes: NodeFaults,
+    /// Observation-report corruption.
+    pub reports: ReportFaults,
+    /// Cap-write failures and outages.
+    pub writes: FleetWriteFaults,
+    /// Epochs `[from, until)` during which global coordination is
+    /// unavailable — every node must fall back to its precomputed
+    /// static budget.
+    pub coordinator_outage: FaultWindow,
+    /// Scheduled changes of the global budget (factors are absolute
+    /// w.r.t. the initial budget, as in [`BudgetStep`]).
+    pub budget_steps: Vec<BudgetStep>,
+}
+
+/// The preset plan names [`FleetFaultPlan::by_name`] accepts, in
+/// escalation order. `node-dropouts` and `flaky-writes` keep the
+/// pre-health-machine preset names alive.
+pub const FLEET_PLAN_NAMES: [&str; 9] = [
+    "calm",
+    "node-dropouts",
+    "node-crash",
+    "node-rejoin",
+    "stragglers",
+    "report-loss",
+    "flaky-writes",
+    "write-outage",
+    "everything",
+];
+
+impl FleetFaultPlan {
+    /// No faults at all — the control run.
+    #[must_use]
+    pub fn calm(seed: u64) -> Self {
+        Self {
+            name: "calm",
+            seed,
+            nodes: NodeFaults::NONE,
+            reports: ReportFaults::NONE,
+            writes: FleetWriteFaults::NONE,
+            coordinator_outage: FaultWindow::NEVER,
+            budget_steps: Vec::new(),
+        }
+    }
+
+    /// Nodes drop out mid-run and rejoin a few epochs later — the
+    /// original cluster preset, kept under its old name.
+    #[must_use]
+    pub fn node_dropouts(seed: u64) -> Self {
+        Self {
+            name: "node-dropouts",
+            nodes: NodeFaults {
+                crash_prob: 0.08,
+                crash_window: FaultWindow::new(2, 30),
+                outage_epochs: 4,
+                ..NodeFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Hard crashes with long outages: the fleet must reclaim the dead
+    /// nodes' watts and keep the survivors productive.
+    #[must_use]
+    pub fn node_crash(seed: u64) -> Self {
+        Self {
+            name: "node-crash",
+            nodes: NodeFaults {
+                crash_prob: 0.05,
+                crash_window: FaultWindow::new(4, 24),
+                outage_epochs: 12,
+                ..NodeFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Crash/rejoin churn: short outages, so nodes cycle through
+    /// Quarantined → Rejoining → Healthy over and over and the
+    /// probation path is exercised hard.
+    #[must_use]
+    pub fn node_rejoin(seed: u64) -> Self {
+        Self {
+            name: "node-rejoin",
+            nodes: NodeFaults {
+                crash_prob: 0.10,
+                crash_window: FaultWindow::new(2, 28),
+                outage_epochs: 3,
+                ..NodeFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Stragglers: nodes run slow for a stretch and their reports lag
+    /// an epoch behind, tripping the staleness rejection.
+    #[must_use]
+    pub fn stragglers(seed: u64) -> Self {
+        Self {
+            name: "stragglers",
+            nodes: NodeFaults {
+                straggler_prob: 0.08,
+                straggler_window: FaultWindow::new(3, 30),
+                straggle_epochs: 6,
+                slowdown: 0.3,
+                ..NodeFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Reports are dropped, delayed, and garbled; the health machine
+    /// must quarantine on missing/invalid telemetry without ever
+    /// overdrawing.
+    #[must_use]
+    pub fn report_loss(seed: u64) -> Self {
+        Self {
+            name: "report-loss",
+            reports: ReportFaults {
+                drop_prob: 0.20,
+                delay_prob: 0.10,
+                garble_prob: 0.10,
+                window: FaultWindow::new(3, 32),
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Cap writes fail stochastically; the pot accounting must hold —
+    /// the original cluster preset, kept under its old name.
+    #[must_use]
+    pub fn flaky_writes(seed: u64) -> Self {
+        Self {
+            name: "flaky-writes",
+            writes: FleetWriteFaults {
+                fail_prob: 0.2,
+                window: FaultWindow::new(1, 40),
+                ..FleetWriteFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Whole cap-write paths go down per node for a stretch: decreases
+    /// cannot land, so the watts they hold must stay reserved.
+    #[must_use]
+    pub fn write_outage(seed: u64) -> Self {
+        Self {
+            name: "write-outage",
+            writes: FleetWriteFaults {
+                fail_prob: 0.1,
+                window: FaultWindow::new(2, 30),
+                outage_prob: 0.04,
+                outage_epochs: 5,
+                outage_window: FaultWindow::new(2, 25),
+                ..FleetWriteFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Everything at once: crashes, stragglers, report loss, write
+    /// faults, a coordinator outage, and a budget cut — with the budget
+    /// steps placed after every write window closes, so the budget
+    /// invariant holds structurally at any seed.
+    #[must_use]
+    pub fn everything(seed: u64) -> Self {
+        Self {
+            name: "everything",
+            nodes: NodeFaults {
+                crash_prob: 0.06,
+                crash_window: FaultWindow::new(2, 26),
+                outage_epochs: 4,
+                straggler_prob: 0.05,
+                straggler_window: FaultWindow::new(4, 26),
+                straggle_epochs: 4,
+                slowdown: 0.3,
+            },
+            reports: ReportFaults {
+                drop_prob: 0.10,
+                delay_prob: 0.06,
+                garble_prob: 0.06,
+                window: FaultWindow::new(3, 28),
+            },
+            writes: FleetWriteFaults {
+                fail_prob: 0.15,
+                window: FaultWindow::new(1, 30),
+                outage_prob: 0.03,
+                outage_epochs: 4,
+                outage_window: FaultWindow::new(2, 24),
+            },
+            coordinator_outage: FaultWindow::new(32, 36),
+            budget_steps: vec![
+                BudgetStep { at: 40, factor: 0.85 },
+                BudgetStep { at: 48, factor: 1.0 },
+            ],
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Look a preset up by name (see [`FLEET_PLAN_NAMES`]).
+    #[must_use]
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "calm" => Some(Self::calm(seed)),
+            "node-dropouts" => Some(Self::node_dropouts(seed)),
+            "node-crash" => Some(Self::node_crash(seed)),
+            "node-rejoin" => Some(Self::node_rejoin(seed)),
+            "stragglers" => Some(Self::stragglers(seed)),
+            "report-loss" => Some(Self::report_loss(seed)),
+            "flaky-writes" => Some(Self::flaky_writes(seed)),
+            "write-outage" => Some(Self::write_outage(seed)),
+            "everything" => Some(Self::everything(seed)),
+            _ => None,
+        }
+    }
+
+    /// One-line description of a preset, for `pbc faults list`.
+    #[must_use]
+    pub fn describe(name: &str) -> Option<&'static str> {
+        match name {
+            "calm" => Some("no faults; the control run"),
+            "node-dropouts" => Some("nodes drop out and rejoin a few epochs later"),
+            "node-crash" => Some("hard crashes with long outages; survivors inherit the watts"),
+            "node-rejoin" => Some("crash/rejoin churn; probation path exercised hard"),
+            "stragglers" => Some("nodes run slow and report an epoch late"),
+            "report-loss" => Some("reports dropped, delayed, and garbled"),
+            "flaky-writes" => Some("cap writes fail stochastically"),
+            "write-outage" => Some("whole per-node cap-write paths go down for a stretch"),
+            "everything" => Some("all of it, plus a coordinator outage and a budget cut"),
+            _ => None,
+        }
+    }
+
+    /// The tick after which the plan injects nothing and every fault it
+    /// started has run its course (outages and straggles included).
+    #[must_use]
+    pub fn quiet_after(&self) -> usize {
+        let crash_tail = if self.nodes.crash_window.is_empty() {
+            0
+        } else {
+            self.nodes.crash_window.until + self.nodes.outage_epochs
+        };
+        let straggle_tail = if self.nodes.straggler_window.is_empty() {
+            0
+        } else {
+            self.nodes.straggler_window.until + self.nodes.straggle_epochs
+        };
+        let outage_tail = if self.writes.outage_window.is_empty() {
+            0
+        } else {
+            self.writes.outage_window.until + self.writes.outage_epochs
+        };
+        let mut t = crash_tail
+            .max(straggle_tail)
+            .max(outage_tail)
+            .max(self.reports.window.until)
+            .max(self.writes.window.until)
+            .max(self.coordinator_outage.until);
+        for s in &self.budget_steps {
+            t = t.max(s.at + 1);
+        }
+        t
+    }
+
+    /// Validate probabilities, windows, and schedules.
+    #[must_use = "an invalid plan must not be armed"]
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            ("nodes.crash_prob", self.nodes.crash_prob),
+            ("nodes.straggler_prob", self.nodes.straggler_prob),
+            ("reports.drop_prob", self.reports.drop_prob),
+            ("reports.delay_prob", self.reports.delay_prob),
+            ("reports.garble_prob", self.reports.garble_prob),
+            ("writes.fail_prob", self.writes.fail_prob),
+            ("writes.outage_prob", self.writes.outage_prob),
+        ];
+        for (what, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: {what} = {p} is not a probability",
+                    self.name
+                )));
+            }
+        }
+        if self.nodes.crash_prob > 0.0 && self.nodes.outage_epochs == 0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: outage_epochs must be >= 1 when crashes can fire",
+                self.name
+            )));
+        }
+        if self.nodes.straggler_prob > 0.0 && self.nodes.straggle_epochs == 0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: straggle_epochs must be >= 1 when stragglers can appear",
+                self.name
+            )));
+        }
+        if self.writes.outage_prob > 0.0 && self.writes.outage_epochs == 0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: writes.outage_epochs must be >= 1 when outages can fire",
+                self.name
+            )));
+        }
+        if !(self.nodes.slowdown.is_finite() && 0.0 < self.nodes.slowdown && self.nodes.slowdown <= 1.0)
+        {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: straggler slowdown {} out of (0, 1]",
+                self.name, self.nodes.slowdown
+            )));
+        }
+        let report_sum =
+            self.reports.drop_prob + self.reports.delay_prob + self.reports.garble_prob;
+        if report_sum > 1.0 {
+            return Err(PbcError::InvalidInput(format!(
+                "{}: report fault probabilities sum to {report_sum} > 1",
+                self.name
+            )));
+        }
+        for s in &self.budget_steps {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: budget factor {} at tick {} must be positive",
+                    self.name, s.factor, s.at
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fleet_preset_resolves_validates_and_has_a_description() {
+        for name in FLEET_PLAN_NAMES {
+            let plan = FleetFaultPlan::by_name(name, 42).unwrap();
+            assert_eq!(plan.name, name);
+            plan.validate().unwrap();
+            assert!(FleetFaultPlan::describe(name).is_some(), "{name} lacks a description");
+        }
+        assert!(FleetFaultPlan::by_name("nope", 1).is_none());
+        assert!(FleetFaultPlan::describe("nope").is_none());
+    }
+
+    /// The seed-independence of the fleet budget invariant rests on
+    /// this: shipped presets never step the budget while any cap-write
+    /// fault (stochastic or outage) can still be in flight.
+    #[test]
+    fn shipped_fleet_plans_never_step_budget_while_writes_can_fail() {
+        for name in FLEET_PLAN_NAMES {
+            let plan = FleetFaultPlan::by_name(name, 1).unwrap();
+            let write_tail = if plan.writes.outage_window.is_empty() {
+                plan.writes.window.until
+            } else {
+                plan.writes
+                    .window
+                    .until
+                    .max(plan.writes.outage_window.until + plan.writes.outage_epochs)
+            };
+            for step in &plan.budget_steps {
+                assert!(
+                    step.at >= write_tail,
+                    "{name}: budget step at {} inside the write-fault tail [0, {write_tail})",
+                    step.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_after_covers_outage_and_straggle_tails() {
+        let plan = FleetFaultPlan::everything(7);
+        let q = plan.quiet_after();
+        assert_eq!(q, 49); // last budget step at 48
+        assert!(q >= plan.nodes.crash_window.until + plan.nodes.outage_epochs);
+        assert!(q >= plan.writes.outage_window.until + plan.writes.outage_epochs);
+        assert!(q >= plan.coordinator_outage.until);
+        assert_eq!(FleetFaultPlan::calm(7).quiet_after(), 0);
+        let crash = FleetFaultPlan::node_crash(1);
+        assert_eq!(crash.quiet_after(), crash.nodes.crash_window.until + 12);
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let mut plan = FleetFaultPlan::node_crash(1);
+        plan.nodes.crash_prob = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FleetFaultPlan::node_crash(1);
+        plan.nodes.outage_epochs = 0;
+        assert!(plan.validate().is_err());
+        let mut plan = FleetFaultPlan::stragglers(1);
+        plan.nodes.slowdown = 0.0;
+        assert!(plan.validate().is_err());
+        let mut plan = FleetFaultPlan::report_loss(1);
+        plan.reports.drop_prob = 0.6;
+        plan.reports.delay_prob = 0.3;
+        plan.reports.garble_prob = 0.2;
+        assert!(plan.validate().is_err(), "report sum > 1 must be rejected");
+        let mut plan = FleetFaultPlan::everything(1);
+        plan.budget_steps[0].factor = f64::NAN;
+        assert!(plan.validate().is_err());
+    }
+}

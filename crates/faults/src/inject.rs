@@ -64,6 +64,21 @@ impl InjectionTally {
     }
 }
 
+/// A fresh generator for one decision, keyed on `(seed, tick, stream)`
+/// with an optional per-entity `salt` (node index, write key, retry
+/// attempt) folded in. This is the determinism contract in one place:
+/// no generator state crosses decisions, so the outcome at tick `k`
+/// never depends on how many draws happened before it. The fleet
+/// coordinator keys its crash/straggler/report/write draws through
+/// this helper so cluster chaos replays bit-identically at any
+/// `PBC_THREADS`.
+#[must_use]
+pub fn decision_rng(seed: u64, tick: usize, stream: u64, salt: u64) -> XorShift64Star {
+    XorShift64Star::new(
+        seed ^ (tick as u64).wrapping_mul(GOLDEN) ^ stream ^ salt.wrapping_mul(GOLDEN),
+    )
+}
+
 /// Stable 64-bit key for one enforcement write (domain × target), used
 /// to give each write its own decision stream. FNV-1a over the name
 /// bytes, folded with the target in microwatts.

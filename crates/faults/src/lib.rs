@@ -41,10 +41,14 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod fleet;
 pub mod inject;
 pub mod plan;
 
 pub use chaos::{run_chaos, ChaosReport};
 pub use clock::FaultClock;
-pub use inject::{FaultInjector, InjectionTally, WriteFault};
+pub use fleet::{
+    FleetFaultPlan, FleetWriteFaults, NodeFaults, ReportFaults, FLEET_PLAN_NAMES,
+};
+pub use inject::{decision_rng, FaultInjector, InjectionTally, WriteFault};
 pub use plan::{BudgetStep, FaultPlan, FaultWindow, PhaseShift, SensorFaults, WriteFaults};

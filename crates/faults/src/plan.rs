@@ -268,6 +268,19 @@ impl FaultPlan {
         }
     }
 
+    /// One-line description of a preset, for `pbc faults list`.
+    #[must_use]
+    pub fn describe(name: &str) -> Option<&'static str> {
+        match name {
+            "calm" => Some("no faults; the control run"),
+            "noisy-sensors" => Some("perf readings jittered, spiked, dropped, and frozen"),
+            "flaky-writes" => Some("cap writes fail stochastically; transactions roll back"),
+            "budget-storm" => Some("the budget steps up and down mid-run"),
+            "everything" => Some("all of it at once, plus a phase shift"),
+            _ => None,
+        }
+    }
+
     /// The tick after which the plan injects nothing: windows closed,
     /// all scheduled events fired. The harness uses it to check the loop
     /// re-converges once faults clear.

@@ -27,6 +27,7 @@ impl GpuCapper {
     /// `mem_level`. Rejects caps outside the card's settable range
     /// (below the minimum is an error; above the maximum clamps, like
     /// `nvidia-smi`).
+    #[must_use = "constructing a governor has no effect until it is driven"]
     pub fn new(gpu: &GpuSpec, card_cap: Watts, mem_level: usize, window: usize) -> Result<Self> {
         if card_cap < gpu.min_card_cap {
             return Err(PbcError::CapOutOfRange {

@@ -199,3 +199,48 @@ pub const CLUSTER_NODES_UP: &str = "cluster.nodes_up";
 pub const CLUSTER_MOVED_W: &str = "cluster.moved_w";
 /// Aggregate relative throughput across live nodes, last epoch.
 pub const CLUSTER_AGGREGATE_PERF: &str = "cluster.aggregate_perf";
+/// Node observation reports rejected by validation (non-finite,
+/// out-of-range, or stale) before they could steer the partition.
+pub const CLUSTER_REJECTED_REPORTS: &str = "cluster.rejected_reports";
+/// Node observation reports that never arrived for an epoch (dropped
+/// in flight, or the node is down).
+pub const CLUSTER_MISSED_REPORTS: &str = "cluster.missed_reports";
+/// Epochs served from the precomputed static fallback partition
+/// because global coordination was unavailable (coordinator outage,
+/// redistribution timeout, or an infeasible water-fill).
+pub const CLUSTER_DEGRADED_EPOCHS: &str = "cluster.degraded_epochs";
+/// Redistribution rounds abandoned because their write-attempt
+/// deadline was exhausted; the next epoch runs degraded.
+pub const CLUSTER_ROUND_TIMEOUTS: &str = "cluster.round_timeouts";
+/// Cap-write retries spent recovering from transient write failures
+/// (attempts beyond the first, across all nodes).
+pub const CLUSTER_WRITE_RETRIES: &str = "cluster.write_retries";
+/// Global fleet budget re-negotiations accepted mid-run.
+pub const CLUSTER_BUDGET_RESETS: &str = "cluster.budget_resets";
+/// Global fleet budget changes rejected by validation (non-finite or
+/// non-positive) before they could poison the partition.
+pub const CLUSTER_REJECTED_BUDGETS: &str = "cluster.rejected_budgets";
+/// Watts currently reclaimed for the healthy pool from down,
+/// quarantined, and rejoining nodes, measured against the static
+/// fallback partition (gauge, end of last epoch).
+pub const CLUSTER_RECLAIMED_W: &str = "cluster.reclaimed_w";
+
+// --- node health state machine (crates/cluster/src/health.rs) ---------
+
+/// Healthy → Suspect transitions (a node's reports started missing or
+/// failing validation).
+pub const HEALTH_SUSPECTS: &str = "health.suspects";
+/// Transitions into Quarantined (miss streak reached the threshold, or
+/// a probation epoch missed its report).
+pub const HEALTH_QUARANTINES: &str = "health.quarantines";
+/// Quarantined → Rejoining transitions (a quarantined node delivered a
+/// valid report again).
+pub const HEALTH_REJOINS: &str = "health.rejoins";
+/// Rejoining → Healthy transitions (probation served cleanly).
+pub const HEALTH_RECOVERIES: &str = "health.recoveries";
+/// Epochs where raises were funded by watts not yet confirmed freed
+/// from a quarantined node. **Must read zero on every run** —
+/// decreases-first reclamation makes a leak structurally impossible.
+pub const HEALTH_QUARANTINE_LEAKS: &str = "health.quarantine_leaks";
+/// Nodes currently Healthy (gauge, end of last epoch).
+pub const HEALTH_HEALTHY_NODES: &str = "health.healthy_nodes";

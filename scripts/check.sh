@@ -56,6 +56,28 @@ cargo test -q --test chaos_properties
 echo "==> cluster smoke (fleet coordination beats uniform split; dropout chaos, via a real trace file)"
 cargo test -q -p pbc-cli --test cluster_smoke
 
+echo "==> cluster-chaos smoke (fleet fault tolerance: seed sweep + trace invariants)"
+cargo test -q -p pbc-cli --test cluster_chaos_smoke
+cargo test -q -p pbc-cluster --test fault_tolerance
+# Drive the shipped binary through the worst plan once and hold the two
+# survival laws from the emitted trace file, under a wall-clock timeout
+# where the host provides one (a wedged retry loop must fail the gate,
+# not hang it).
+chaos_spec=target/cluster-chaos-spec.txt
+chaos_trace=target/cluster-chaos-trace.jsonl
+printf '4 ivybridge stream\n2 haswell dgemm\n2 titan-xp sgemm\n' > "$chaos_spec"
+rm -f "$chaos_trace"
+chaos_runner=""
+if command -v timeout >/dev/null 2>&1; then chaos_runner="timeout 120"; fi
+$chaos_runner ./target/release/pbc cluster-chaos -p "$chaos_spec" -b 1050 \
+    --plan everything --seed 42 --trace "$chaos_trace" > /dev/null \
+    || { echo "error: pbc cluster-chaos failed or timed out" >&2; exit 1; }
+grep -q '{"type":"counter","name":"cluster.budget_violations","value":0}' "$chaos_trace" \
+    || { echo "error: cluster.budget_violations != 0 in $chaos_trace" >&2; exit 1; }
+grep -q '{"type":"counter","name":"health.quarantine_leaks","value":0}' "$chaos_trace" \
+    || { echo "error: health.quarantine_leaks != 0 in $chaos_trace" >&2; exit 1; }
+echo "    trace laws held: cluster.budget_violations == 0, health.quarantine_leaks == 0"
+
 echo "==> timed benches (append machine-readable records to BENCH_sweep.json)"
 # BENCH_sweep.json is the *fresh-file* gate input: it must contain only
 # this run's records, so the ratio greps below can never match a stale
