@@ -42,6 +42,18 @@ USAGE:
                                         print the survival report
   pbc faults list                       list every canned fault plan
   pbc rapl-status                       read real RAPL domains (Linux)
+  pbc serve     [--port N] [--prom-port N] [--snapshot FILE] [--stream]
+                                        run the coordination daemon:
+                                        line protocol over TCP and stdin,
+                                        optional Prometheus endpoint and
+                                        streaming exporters; drains
+                                        cleanly on stdin EOF or the
+                                        `shutdown` verb (docs/SERVING.md)
+  pbc serve-bench [-p PLATFORM] [-w BENCH] [--nodes N] [--workers N]
+                [--pipeline N] [--duration-ms N] [--save FILE]
+                                        load-test the daemon; report
+                                        queries/sec and p50/p99/p999
+                                        dispatch latency
 
 Global options:
   --trace FILE    record spans and counters for the run and write them
@@ -78,6 +90,14 @@ struct Args {
     plan: Option<String>,
     seed: Option<u64>,
     epochs: Option<usize>,
+    port: Option<u16>,
+    prom_port: Option<u16>,
+    snapshot: Option<String>,
+    stream: bool,
+    nodes: Option<usize>,
+    workers: Option<usize>,
+    pipeline: Option<usize>,
+    duration_ms: Option<u64>,
 }
 
 fn parse(rest: &[String]) -> Result<Args, String> {
@@ -95,6 +115,14 @@ fn parse(rest: &[String]) -> Result<Args, String> {
         plan: None,
         seed: None,
         epochs: None,
+        port: None,
+        prom_port: None,
+        snapshot: None,
+        stream: false,
+        nodes: None,
+        workers: None,
+        pipeline: None,
+        duration_ms: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -170,6 +198,44 @@ fn parse(rest: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad epoch count: {e}"))?,
                 );
+                i += 2;
+            }
+            "--port" => {
+                args.port =
+                    Some(take(i)?.parse().map_err(|e| format!("bad port: {e}"))?);
+                i += 2;
+            }
+            "--prom-port" => {
+                args.prom_port =
+                    Some(take(i)?.parse().map_err(|e| format!("bad prom port: {e}"))?);
+                i += 2;
+            }
+            "--snapshot" => {
+                args.snapshot = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--stream" => {
+                args.stream = true;
+                i += 1;
+            }
+            "--nodes" => {
+                args.nodes =
+                    Some(take(i)?.parse().map_err(|e| format!("bad node count: {e}"))?);
+                i += 2;
+            }
+            "--workers" => {
+                args.workers =
+                    Some(take(i)?.parse().map_err(|e| format!("bad worker count: {e}"))?);
+                i += 2;
+            }
+            "--pipeline" => {
+                args.pipeline =
+                    Some(take(i)?.parse().map_err(|e| format!("bad pipeline depth: {e}"))?);
+                i += 2;
+            }
+            "--duration-ms" => {
+                args.duration_ms =
+                    Some(take(i)?.parse().map_err(|e| format!("bad duration: {e}"))?);
                 i += 2;
             }
             other => return Err(format!("unknown argument {other}")),
@@ -317,12 +383,81 @@ fn run(argv: &[String]) -> Result<String, String> {
             )
             .map_err(e)
         }
+        "serve" => {
+            let a = parse(rest)?;
+            run_serve(&a)
+        }
+        "serve-bench" => {
+            let a = parse(rest)?;
+            pbc_cli::cmd_serve_bench(
+                a.platform.as_deref().unwrap_or("ivybridge"),
+                a.bench.as_deref().unwrap_or("stream"),
+                a.nodes.unwrap_or(1024),
+                a.workers.unwrap_or(2),
+                a.pipeline.unwrap_or(64),
+                a.duration_ms.unwrap_or(1500),
+                a.save.as_deref(),
+            )
+            .map_err(e)
+        }
         "faults" => match rest.first().map(String::as_str) {
             Some("list") | None => Ok(pbc_cli::cmd_faults_list()),
             Some(other) => Err(format!("unknown faults subcommand {other}; try `pbc faults list`")),
         },
         other => Err(format!("unknown command {other}\n\n{HELP}")),
     }
+}
+
+/// The interactive daemon: TCP accept loop plus a stdin control
+/// session on this thread. Responses to stdin requests go to stdout;
+/// the daemon drains (finish in-flight, flush exporters) on stdin EOF,
+/// `quit`, or `shutdown`, then exits 0.
+fn run_serve(a: &Args) -> Result<String, String> {
+    use std::io::BufRead as _;
+
+    let engine = std::sync::Arc::new(pbc_serve::ServeEngine::new());
+    let mut exporters: Vec<Box<dyn pbc_serve::Exporter>> = Vec::new();
+    if a.stream {
+        exporters.push(Box::new(pbc_serve::JsonLinesExporter::new(
+            std::io::stdout(),
+        )));
+    }
+    if let Some(path) = &a.snapshot {
+        exporters.push(Box::new(pbc_serve::TraceSnapshotExporter::new(
+            std::path::PathBuf::from(path),
+        )));
+    }
+    let config = pbc_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", a.port.unwrap_or(0)),
+        prom_addr: a.prom_port.map(|p| format!("127.0.0.1:{p}")),
+        exporters,
+        ..pbc_serve::ServerConfig::default()
+    };
+    let server = pbc_serve::Server::start(std::sync::Arc::clone(&engine), config)
+        .map_err(|e| format!("serve: could not start: {e}"))?;
+    println!("listening {}", server.local_addr());
+    if let Some(prom) = server.prom_addr() {
+        println!("prometheus {prom}");
+    }
+
+    let stdin = std::io::stdin();
+    let mut response = String::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("serve: stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let disposition = engine.dispatch_into(&line, &mut response);
+        println!("{response}");
+        if disposition != pbc_serve::Disposition::Respond {
+            break;
+        }
+    }
+    let sessions = engine.session_count();
+    server
+        .drain()
+        .map_err(|e| format!("serve: drain failed: {e}"))?;
+    Ok(format!("serve: drained cleanly ({sessions} sessions)"))
 }
 
 fn main() -> ExitCode {

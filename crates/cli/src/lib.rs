@@ -676,6 +676,71 @@ pub fn cmd_report(platform_slug: &str, bench_slug: &str, budget: f64) -> Result<
     workload_report(&problem, &ladder, DEFAULT_STEP)
 }
 
+/// `pbc serve-bench` — load-test the coordination daemon and write one
+/// `BENCH_serve.json` record. The daemon is booted in-process on an
+/// ephemeral port; throughput is measured over live pipelined TCP,
+/// dispatch latency over the identical in-process dispatch path (see
+/// `docs/SERVING.md` for the methodology).
+#[must_use = "the rendered bench summary is the command's entire output"]
+pub fn cmd_serve_bench(
+    platform_slug: &str,
+    bench_slug: &str,
+    nodes: usize,
+    workers: usize,
+    pipeline: usize,
+    duration_ms: u64,
+    save: Option<&str>,
+) -> Result<String> {
+    // Fail fast on bad slugs before booting a daemon.
+    let _ = platform(platform_slug)?;
+    let _ = benchmark(bench_slug)?;
+    let cfg = pbc_serve::BenchConfig {
+        nodes,
+        workers,
+        pipeline,
+        duration: std::time::Duration::from_millis(duration_ms),
+        platform: platform_slug.to_string(),
+        bench: bench_slug.to_string(),
+        ..pbc_serve::BenchConfig::default()
+    };
+    let report = pbc_serve::run_serve_bench(&cfg)?;
+    if let Some(path) = save {
+        std::fs::write(path, format!("{}\n", report.json_line()))
+            .map_err(|e| PbcError::Io(format!("writing {path}: {e}")))?;
+    }
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-bench: {} sessions on {}/{} ({} workers, pipeline {})",
+        report.nodes, platform_slug, bench_slug, report.workers, report.pipeline
+    );
+    let _ = writeln!(
+        out,
+        "  throughput: {} responses in {:.0} ms over TCP = {:.0} queries/sec",
+        report.responses,
+        report.elapsed.as_secs_f64() * 1000.0,
+        report.qps
+    );
+    let _ = writeln!(
+        out,
+        "  dispatch latency ({} samples): p50 {:.2} us, p99 {:.2} us, p99.9 {:.2} us",
+        report.dispatches,
+        us(report.p50_ns),
+        us(report.p99_ns),
+        us(report.p999_ns)
+    );
+    let _ = writeln!(
+        out,
+        "  counters: requests={} served={} rejected={}",
+        report.requests, report.served, report.rejected
+    );
+    if let Some(path) = save {
+        let _ = writeln!(out, "  record saved to {path}");
+    }
+    Ok(out)
+}
+
 /// `pbc rapl-status` — real hardware readout.
 pub fn cmd_rapl_status() -> String {
     match pbc_rapl::RaplSysfs::discover() {

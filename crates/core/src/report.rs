@@ -17,6 +17,7 @@ use std::fmt::Write as _;
 
 /// Build the report for a CPU-platform problem instance. `budgets` is the
 /// ladder of candidate budgets the operator is considering.
+#[must_use = "the rendered report carries either the markdown or the failure"]
 pub fn workload_report(
     problem: &PowerBoundedProblem,
     budgets: &[Watts],

@@ -1,0 +1,351 @@
+//! The serve load generator (`pbc serve-bench`).
+//!
+//! Two phases, two numbers:
+//!
+//! 1. **Throughput** — boot a real daemon in-process, `provision`
+//!    thousands of sessions over the wire, then drive pipelined
+//!    set-budget batches from several client threads over live TCP
+//!    connections: each worker writes a batch of `pipeline` requests,
+//!    flushes once, and reads the batch of responses, so the syscall
+//!    cost amortizes across the batch the way a production client
+//!    multiplexing many nodes onto one connection would behave. The
+//!    reported figure is sustained responses per second.
+//! 2. **Dispatch latency** — drive the *identical* dispatch path
+//!    (`parse → session lock → set_budget table fast path → render`)
+//!    in-process and record every set-budget→allocation latency in a
+//!    log-bucketed [`LatencyHistogram`]. Socket scheduling noise on a
+//!    loaded host would otherwise swamp the sub-microsecond signal PR 7
+//!    bought; the dispatch path is byte-for-byte the one the TCP
+//!    handler runs.
+//!
+//! Budgets alternate per session between two watt points inside the
+//! class's `[floor, ceiling]`, so every request exercises the full
+//! `set_budget(Applied)` + table-seed + `next_allocation` path, never
+//! the `Unchanged` short-circuit.
+
+use crate::engine::ServeEngine;
+use crate::hist::LatencyHistogram;
+use crate::proto;
+use crate::server::{Server, ServerConfig};
+use pbc_trace::json::Value;
+use pbc_trace::names;
+use pbc_types::{PbcError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+pub struct BenchConfig {
+    /// Concurrent simulated nodes (coordination sessions).
+    pub nodes: usize,
+    /// Client worker threads, each with its own TCP connection.
+    pub workers: usize,
+    /// Requests written per batch before the flush + response read.
+    pub pipeline: usize,
+    /// Throughput measurement window.
+    pub duration: Duration,
+    /// Dispatch-latency measurement window.
+    pub dispatch_duration: Duration,
+    /// Platform slug for every session.
+    pub platform: String,
+    /// Benchmark slug for every session.
+    pub bench: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1024,
+            workers: 2,
+            pipeline: 64,
+            duration: Duration::from_millis(1500),
+            dispatch_duration: Duration::from_millis(500),
+            platform: "ivybridge".into(),
+            bench: "stream".into(),
+        }
+    }
+}
+
+/// What the run measured.
+pub struct BenchReport {
+    /// Sessions actually provisioned.
+    pub nodes: usize,
+    /// Client threads used.
+    pub workers: usize,
+    /// Batch depth used.
+    pub pipeline: usize,
+    /// Responses received over TCP during the throughput window.
+    pub responses: u64,
+    /// The throughput window actually elapsed.
+    pub elapsed: Duration,
+    /// Sustained queries per second over live TCP.
+    pub qps: f64,
+    /// In-process dispatches timed for the latency histogram.
+    pub dispatches: u64,
+    /// set-budget→allocation latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+    /// `serve.requests` at the end of the run.
+    pub requests: u64,
+    /// `serve.served_requests` at the end of the run.
+    pub served: u64,
+    /// `serve.rejected_requests` at the end of the run.
+    pub rejected: u64,
+}
+
+impl BenchReport {
+    /// One `BENCH_serve.json` record (`"type":"serve-bench"`).
+    #[must_use]
+    pub fn json_line(&self) -> String {
+        #[allow(clippy::cast_precision_loss)]
+        let f = |v: u64| Value::Num(v as f64);
+        let us = |ns: u64| Value::Num(ns as f64 / 1000.0);
+        Value::Obj(vec![
+            ("type".into(), Value::Str("serve-bench".into())),
+            ("nodes".into(), f(self.nodes as u64)),
+            ("workers".into(), f(self.workers as u64)),
+            ("pipeline".into(), f(self.pipeline as u64)),
+            ("responses".into(), f(self.responses)),
+            ("elapsed_ms".into(), Value::Num(self.elapsed.as_secs_f64() * 1000.0)),
+            ("qps".into(), Value::Num(self.qps)),
+            ("dispatches".into(), f(self.dispatches)),
+            ("p50_us".into(), us(self.p50_ns)),
+            ("p99_us".into(), us(self.p99_ns)),
+            ("p999_us".into(), us(self.p999_ns)),
+            ("requests".into(), f(self.requests)),
+            ("served".into(), f(self.served)),
+            ("rejected".into(), f(self.rejected)),
+        ])
+        .render()
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> PbcError {
+    PbcError::Io(format!("{context}: {e}"))
+}
+
+/// Pull `key=<f64>` out of a response line.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    line.split_ascii_whitespace()
+        .find_map(|f| f.strip_prefix(key))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Boot a daemon in-process, drive it, and report the numbers.
+#[must_use = "the bench result carries either the report or the failure"]
+pub fn run_serve_bench(cfg: &BenchConfig) -> Result<BenchReport> {
+    if cfg.nodes == 0 || cfg.workers == 0 || cfg.pipeline == 0 {
+        return Err(PbcError::InvalidInput(
+            "serve-bench needs nodes, workers, and pipeline all positive".into(),
+        ));
+    }
+    let engine = Arc::new(ServeEngine::new());
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default())
+        .map_err(|e| io_err("binding the bench daemon", &e))?;
+    let addr = server.local_addr();
+
+    // Provision every session over the wire, like any client would.
+    let (base, b_low, b_high) = {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| io_err("connecting for provision", &e))?;
+        let mut reader = BufReader::new(
+            stream.try_clone().map_err(|e| io_err("cloning the provision stream", &e))?,
+        );
+        let mut writer = BufWriter::new(stream);
+        writeln!(
+            writer,
+            "provision {} {} {} 208",
+            cfg.nodes, cfg.platform, cfg.bench
+        )
+        .and_then(|()| writer.flush())
+        .map_err(|e| io_err("sending provision", &e))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("reading the provision response", &e))?;
+        let parsed = (
+            field_f64(&line, "base="),
+            field_f64(&line, "floor="),
+            field_f64(&line, "ceiling="),
+        );
+        let (Some(base), Some(floor), Some(ceiling)) = parsed else {
+            return Err(PbcError::InvalidInput(format!(
+                "provision failed: {}",
+                line.trim()
+            )));
+        };
+        // Two budget points inside the schedulable band; alternating
+        // between them forces a real (Applied) budget change on every
+        // request.
+        let low = floor + (ceiling - floor) * 0.25;
+        let high = floor + (ceiling - floor) * 0.75;
+        let _ = writeln!(writer, "quit").and_then(|()| writer.flush());
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let base = base.round() as u64;
+        (base, low, high)
+    };
+
+    // Throughput phase: pipelined batches from `workers` threads.
+    let total = Arc::new(AtomicU64::new(0));
+    let per_worker = cfg.nodes.div_ceil(cfg.workers);
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let total = Arc::clone(&total);
+            let first = base + (w * per_worker) as u64;
+            let count = per_worker.min(cfg.nodes.saturating_sub(w * per_worker)) as u64;
+            let (duration, pipeline) = (cfg.duration, cfg.pipeline);
+            handles.push(scope.spawn(move || -> Result<()> {
+                if count == 0 {
+                    return Ok(());
+                }
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| io_err("connecting a bench worker", &e))?;
+                let mut reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| io_err("cloning a worker stream", &e))?,
+                );
+                let mut writer = BufWriter::new(stream);
+                let deadline = Instant::now() + duration;
+                let mut batch = String::with_capacity(pipeline * 32);
+                let mut response = String::new();
+                let mut seq: u64 = 0;
+                while Instant::now() < deadline {
+                    batch.clear();
+                    use std::fmt::Write as _;
+                    for k in 0..pipeline as u64 {
+                        let id = first + (seq + k) % count;
+                        // Per-session alternation between the two watt
+                        // points: every request applies a real change.
+                        let budget = if ((seq + k) / count) % 2 == 0 { b_low } else { b_high };
+                        let _ = writeln!(batch, "budget {id} {budget}");
+                    }
+                    seq += pipeline as u64;
+                    writer
+                        .write_all(batch.as_bytes())
+                        .and_then(|()| writer.flush())
+                        .map_err(|e| io_err("writing a bench batch", &e))?;
+                    for _ in 0..pipeline {
+                        response.clear();
+                        let n = reader
+                            .read_line(&mut response)
+                            .map_err(|e| io_err("reading a bench response", &e))?;
+                        if n == 0 {
+                            return Err(PbcError::Io(
+                                "bench daemon closed the connection mid-batch".into(),
+                            ));
+                        }
+                        if !response.starts_with("alloc ") {
+                            return Err(PbcError::InvalidInput(format!(
+                                "bench expected an alloc response, got: {}",
+                                response.trim()
+                            )));
+                        }
+                    }
+                    total.fetch_add(pipeline as u64, Ordering::Relaxed);
+                }
+                let _ = writeln!(writer, "quit").and_then(|()| writer.flush());
+                Ok(())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(r) => r?,
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed();
+    let responses = total.load(Ordering::Relaxed);
+    let qps = if elapsed.as_secs_f64() > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        let r = responses as f64;
+        r / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    // Dispatch-latency phase: the identical dispatch path, in-process.
+    let mut hist = LatencyHistogram::new();
+    let mut line = String::with_capacity(64);
+    let mut response = String::with_capacity(96);
+    let lat_deadline = Instant::now() + cfg.dispatch_duration;
+    let mut seq: u64 = 0;
+    let nodes = cfg.nodes as u64;
+    while Instant::now() < lat_deadline {
+        // Time a small burst per clock read to keep clock overhead out
+        // of the tail without hiding per-request behavior.
+        for _ in 0..8 {
+            use std::fmt::Write as _;
+            let id = base + seq % nodes;
+            let budget = if (seq / nodes) % 2 == 0 { b_low } else { b_high };
+            seq += 1;
+            line.clear();
+            let _ = write!(line, "budget {id} {budget}");
+            let t0 = Instant::now();
+            let _ = engine.dispatch_into(&line, &mut response);
+            let ns = t0.elapsed().as_nanos() as u64;
+            hist.record(ns);
+            if proto::parse_alloc_line(&response).is_none() {
+                return Err(PbcError::InvalidInput(format!(
+                    "dispatch phase expected an alloc response, got: {response}"
+                )));
+            }
+        }
+    }
+
+    server.drain().map_err(|e| io_err("draining the bench daemon", &e))?;
+    Ok(BenchReport {
+        nodes: cfg.nodes,
+        workers: cfg.workers,
+        pipeline: cfg.pipeline,
+        responses,
+        elapsed,
+        qps,
+        dispatches: hist.count(),
+        p50_ns: hist.percentile(0.50),
+        p99_ns: hist.percentile(0.99),
+        p999_ns: hist.percentile(0.999),
+        requests: pbc_trace::counter(names::SERVE_REQUESTS).get(),
+        served: pbc_trace::counter(names::SERVE_SERVED_REQUESTS).get(),
+        rejected: pbc_trace::counter(names::SERVE_REJECTED_REQUESTS).get(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_end_to_end() {
+        // Tiny windows: this is a correctness smoke, not a measurement.
+        let cfg = BenchConfig {
+            nodes: 8,
+            workers: 2,
+            pipeline: 4,
+            duration: Duration::from_millis(80),
+            dispatch_duration: Duration::from_millis(40),
+            ..BenchConfig::default()
+        };
+        let report = run_serve_bench(&cfg).unwrap();
+        assert!(report.responses > 0, "no responses over TCP");
+        assert!(report.qps > 0.0);
+        assert!(report.dispatches > 0);
+        assert!(report.p50_ns <= report.p99_ns && report.p99_ns <= report.p999_ns);
+        let line = report.json_line();
+        let v = pbc_trace::json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("type").and_then(pbc_trace::json::Value::as_str),
+            Some("serve-bench")
+        );
+        assert!(v.get("qps").and_then(pbc_trace::json::Value::as_f64).is_some());
+    }
+}

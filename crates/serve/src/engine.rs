@@ -1,0 +1,448 @@
+//! The serving engine: protocol dispatch over the live session map.
+//!
+//! [`ServeEngine`] is the transport-independent core of the daemon —
+//! the TCP handler threads, the stdin loop, and the in-process bench
+//! all feed request lines into [`ServeEngine::dispatch_into`] and get
+//! one response line back. Everything the daemon knows lives here:
+//!
+//! * a session map (`id → Arc<Mutex<Session>>`) behind an `RwLock`, so
+//!   requests for *different* nodes proceed concurrently and only
+//!   same-node requests serialize;
+//! * the optional fleet coordinator (one per daemon) behind its own
+//!   mutex;
+//! * the serving counters, with cached handles so the hot path pays one
+//!   relaxed atomic add, not a registry lookup.
+//!
+//! The counter law enforced by the e2e tests: every dispatched line
+//! except the control-plane verbs (`quit`, `shutdown`) increments
+//! `serve.requests` and then exactly one of `serve.served_requests` or
+//! `serve.rejected_requests`.
+
+use crate::proto::{self, Request, ServeError};
+use crate::session::Session;
+use pbc_cluster::{parse_spec, ClusterCoordinator, Fleet};
+use pbc_core::{BudgetOutcome, ObservationOutcome};
+use pbc_par::Pool;
+use pbc_powersim::{CpuMechanismState, MechanismState, NodeOperatingPoint};
+use pbc_trace::names;
+use pbc_types::{Bandwidth, PowerAllocation, Watts};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+
+/// What the transport should do after a dispatched line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Send the response line and keep reading.
+    Respond,
+    /// Send the response line, then close this connection.
+    Quit,
+    /// Send the response line, then drain the whole daemon.
+    Shutdown,
+}
+
+fn c(name: &'static str, cell: &'static OnceLock<pbc_trace::Counter>) -> &'static pbc_trace::Counter {
+    cell.get_or_init(|| pbc_trace::counter(name))
+}
+
+fn c_requests() -> &'static pbc_trace::Counter {
+    static C: OnceLock<pbc_trace::Counter> = OnceLock::new();
+    c(names::SERVE_REQUESTS, &C)
+}
+
+fn c_served() -> &'static pbc_trace::Counter {
+    static C: OnceLock<pbc_trace::Counter> = OnceLock::new();
+    c(names::SERVE_SERVED_REQUESTS, &C)
+}
+
+fn c_rejected() -> &'static pbc_trace::Counter {
+    static C: OnceLock<pbc_trace::Counter> = OnceLock::new();
+    c(names::SERVE_REJECTED_REQUESTS, &C)
+}
+
+/// The transport-independent daemon core.
+pub struct ServeEngine {
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    fleet: Mutex<Option<ClusterCoordinator>>,
+    draining: AtomicBool,
+}
+
+impl Default for ServeEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeEngine {
+    /// An engine with no sessions and no fleet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sessions: RwLock::new(HashMap::new()),
+            fleet: Mutex::new(None),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Live sessions right now.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Flip the engine into drain mode: every subsequent non-control
+    /// request is rejected with `shutting-down`. In-flight dispatches
+    /// finish normally.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the engine draining?
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Dispatch one request line, writing the response line (without a
+    /// trailing newline) into `out`. `out` is cleared first, so callers
+    /// can reuse one buffer across a connection's lifetime.
+    pub fn dispatch_into(&self, line: &str, out: &mut String) -> Disposition {
+        out.clear();
+        let parsed = proto::parse(line);
+        // Control-plane verbs steer the transport, not the coordination
+        // state; they bypass the request counters so a quiesced scrape
+        // equals the final trace exactly.
+        match parsed {
+            Ok(Request::Quit) => {
+                out.push_str("ok bye");
+                return Disposition::Quit;
+            }
+            Ok(Request::Shutdown) => {
+                out.push_str("ok draining");
+                return Disposition::Shutdown;
+            }
+            _ => {}
+        }
+        c_requests().incr();
+        let outcome = if self.draining() {
+            Err(ServeError::ShuttingDown)
+        } else {
+            parsed.and_then(|req| self.handle(&req, out))
+        };
+        match outcome {
+            Ok(()) => c_served().incr(),
+            Err(err) => {
+                out.clear();
+                proto::render_err(out, &err);
+                c_rejected().incr();
+            }
+        }
+        Disposition::Respond
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.sessions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownNode(id))
+    }
+
+    fn set_sessions_gauge(&self) {
+        #[allow(clippy::cast_precision_loss)]
+        pbc_trace::gauge(names::SERVE_SESSIONS).set(self.session_count() as f64);
+    }
+
+    fn handle(&self, req: &Request, out: &mut String) -> Result<(), ServeError> {
+        match req {
+            Request::Node { id, platform, bench, budget } => {
+                self.open_one(*id, platform, bench, *budget, out)
+            }
+            Request::Provision { count, platform, bench, budget } => {
+                self.provision(*count, platform, bench, *budget, out)
+            }
+            Request::Budget { id, watts } => self.set_budget(*id, *watts, out),
+            Request::Observe { id, perf, proc_w, mem_w, cap_proc, cap_mem } => {
+                self.observe(*id, *perf, *proc_w, *mem_w, *cap_proc, *cap_mem, out)
+            }
+            Request::Query { id } => {
+                let session = self.session(*id)?;
+                let s = session.lock().unwrap_or_else(PoisonError::into_inner);
+                proto::render_alloc(out, *id, s.tuner.best(), s.tuner.budget(), "best");
+                Ok(())
+            }
+            Request::Free { id } => {
+                let removed = self
+                    .sessions
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(id);
+                if removed.is_none() {
+                    return Err(ServeError::UnknownNode(*id));
+                }
+                self.set_sessions_gauge();
+                let _ = write!(out, "ok free {id}");
+                Ok(())
+            }
+            Request::FleetInit { global, spec } => self.fleet_init(*global, spec, out),
+            Request::FleetBudget { watts } => self.fleet_budget(*watts, out),
+            Request::FleetQuery => self.fleet_query(out),
+            Request::Stats => {
+                let _ = write!(
+                    out,
+                    "ok stats requests={} served={} rejected={} sessions={}",
+                    c_requests().get(),
+                    // The request being answered is already counted but
+                    // not yet resolved; report it as served so the line
+                    // itself satisfies the law it states.
+                    c_served().get() + 1,
+                    c_rejected().get(),
+                    self.session_count()
+                );
+                Ok(())
+            }
+            Request::Ping => {
+                out.push_str("ok pong");
+                Ok(())
+            }
+            // Handled in dispatch_into before counting.
+            Request::Quit | Request::Shutdown => Ok(()),
+        }
+    }
+
+    fn open_one(
+        &self,
+        id: u64,
+        platform: &str,
+        bench: &str,
+        budget: f64,
+        out: &mut String,
+    ) -> Result<(), ServeError> {
+        if self
+            .sessions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&id)
+        {
+            return Err(ServeError::NodeExists(id));
+        }
+        let session = Session::open(platform, bench, budget)?;
+        let best = session.tuner.best();
+        let total = session.tuner.budget();
+        let mut map = self.sessions.write().unwrap_or_else(PoisonError::into_inner);
+        if map.contains_key(&id) {
+            return Err(ServeError::NodeExists(id));
+        }
+        map.insert(id, Arc::new(Mutex::new(session)));
+        drop(map);
+        pbc_trace::counter(names::SERVE_SESSIONS_OPENED).incr();
+        self.set_sessions_gauge();
+        proto::render_alloc(out, id, best, total, "opened");
+        Ok(())
+    }
+
+    /// Open `count` identical sessions in one pooled job. The class's
+    /// curve table is built (or fetched from the shared registry) once;
+    /// the per-session coordinators are then constructed concurrently on
+    /// the global `pbc-par` pool. Ids are assigned consecutively from
+    /// one past the current maximum.
+    fn provision(
+        &self,
+        count: usize,
+        platform: &str,
+        bench: &str,
+        budget: f64,
+        out: &mut String,
+    ) -> Result<(), ServeError> {
+        // Build one session eagerly: resolves slugs, validates the
+        // budget, and warms the shared table so the pooled fan-out below
+        // only pays coordinator construction.
+        let first = Session::open(platform, bench, budget)?;
+        let (floor, ceiling) = (first.floor, first.ceiling);
+        let mut first = Some(first);
+        let slots: Vec<Mutex<Result<Option<Session>, ServeError>>> = (0..count)
+            .map(|i| Mutex::new(Ok(if i == 0 { first.take() } else { None })))
+            .collect();
+        if count > 1 {
+            let (p, b) = (platform.to_string(), bench.to_string());
+            let stats = Pool::global().run(count - 1, &|i| {
+                let built = Session::open(&p, &b, budget).map(Some);
+                *slots[i + 1].lock().unwrap_or_else(PoisonError::into_inner) = built;
+            });
+            if let Some(payload) = stats.panic {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        let mut built = Vec::with_capacity(count);
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Ok(Some(s)) => built.push(s),
+                Ok(None) => {
+                    return Err(ServeError::Build(
+                        "provision worker never ran its slot".into(),
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut map = self.sessions.write().unwrap_or_else(PoisonError::into_inner);
+        let base = map.keys().max().map_or(0, |m| m + 1);
+        for (i, s) in built.into_iter().enumerate() {
+            map.insert(base + i as u64, Arc::new(Mutex::new(s)));
+        }
+        drop(map);
+        pbc_trace::counter(names::SERVE_SESSIONS_OPENED).add(count as u64);
+        self.set_sessions_gauge();
+        let _ = write!(
+            out,
+            "ok provision base={base} count={count} floor={} ceiling={}",
+            floor.value(),
+            ceiling.value()
+        );
+        Ok(())
+    }
+
+    fn set_budget(&self, id: u64, watts: f64, out: &mut String) -> Result<(), ServeError> {
+        let session = self.session(id)?;
+        let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+        match s.tuner.set_budget(Watts::new(watts)) {
+            BudgetOutcome::Applied => {
+                let next = s.tuner.next_allocation();
+                proto::render_alloc(out, id, next, s.tuner.budget(), "applied");
+                Ok(())
+            }
+            BudgetOutcome::Unchanged => {
+                proto::render_alloc(out, id, s.tuner.best(), s.tuner.budget(), "unchanged");
+                Ok(())
+            }
+            BudgetOutcome::RejectedNonFinite => Err(ServeError::RejectedBudget(format!(
+                "budget {watts} is not finite"
+            ))),
+            BudgetOutcome::RejectedBelowMinimum => Err(ServeError::RejectedBudget(format!(
+                "budget {watts} W is zero, negative, or below the platform floor"
+            ))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &self,
+        id: u64,
+        perf: f64,
+        proc_w: f64,
+        mem_w: f64,
+        cap_proc: f64,
+        cap_mem: f64,
+        out: &mut String,
+    ) -> Result<(), ServeError> {
+        let session = self.session(id)?;
+        let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+        // Only `alloc`, `perf_rel`, and the component powers steer the
+        // online search (and its validation); the remaining fields are
+        // solver outputs a remote client has no business reporting, so
+        // they are synthesized neutral.
+        let op = NodeOperatingPoint {
+            alloc: PowerAllocation::new(Watts::new(cap_proc), Watts::new(cap_mem)),
+            perf_rel: perf,
+            proc_power: Watts::new(proc_w),
+            mem_power: Watts::new(mem_w),
+            work_rate: 0.0,
+            bandwidth: Bandwidth::new(0.0),
+            proc_busy: 0.0,
+            mechanism: MechanismState::Cpu(CpuMechanismState {
+                pstate: 0,
+                duty: 1.0,
+                cap_unenforceable: false,
+            }),
+        };
+        let verdict = match s.tuner.observe(&op) {
+            ObservationOutcome::Used => "used",
+            ObservationOutcome::TrippedWatchdog => "watchdog",
+            ObservationOutcome::RejectedNonFinite => {
+                return Err(ServeError::RejectedObservation(format!(
+                    "non-finite or negative perf surrogate {perf}"
+                )))
+            }
+            ObservationOutcome::RejectedOutOfRange => {
+                return Err(ServeError::RejectedObservation(format!(
+                    "implausible operating point: perf={perf} proc={proc_w} mem={mem_w}"
+                )))
+            }
+            ObservationOutcome::RejectedStale => {
+                return Err(ServeError::RejectedObservation(format!(
+                    "caps ({cap_proc}, {cap_mem}) do not match the issued probe — stale sample"
+                )))
+            }
+        };
+        let next = s.tuner.next_allocation();
+        proto::render_alloc(out, id, next, s.tuner.budget(), verdict);
+        Ok(())
+    }
+
+    fn fleet_init(&self, global: f64, spec: &str, out: &mut String) -> Result<(), ServeError> {
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        if fleet.is_some() {
+            return Err(ServeError::FleetState("fleet already initialized".into()));
+        }
+        // The wire spec is one token: `count:platform:bench` groups
+        // joined by commas. Translate to the spec-file grammar.
+        let text: String = spec
+            .split(',')
+            .map(|group| group.replace(':', " "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lines = parse_spec(&text).map_err(|e| ServeError::Build(e.to_string()))?;
+        let built = Fleet::build(&lines).map_err(|e| ServeError::Build(e.to_string()))?;
+        let nodes = built.len();
+        let mut coord = ClusterCoordinator::new(built, Watts::new(global))
+            .map_err(|e| ServeError::Build(e.to_string()))?;
+        coord.provision().map_err(|e| ServeError::Build(e.to_string()))?;
+        let enforced = coord.enforced_total();
+        *fleet = Some(coord);
+        let _ = write!(out, "ok fleet nodes={nodes} enforced={}", enforced.value());
+        Ok(())
+    }
+
+    fn fleet_budget(&self, watts: f64, out: &mut String) -> Result<(), ServeError> {
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(coord) = fleet.as_mut() else {
+            return Err(ServeError::FleetState("fleet not initialized".into()));
+        };
+        coord
+            .set_global_budget(Watts::new(watts))
+            .map_err(|e| ServeError::RejectedBudget(e.to_string()))?;
+        coord.step().map_err(|e| ServeError::Build(e.to_string()))?;
+        let _ = write!(
+            out,
+            "ok fleet budget={watts} enforced={}",
+            coord.enforced_total().value()
+        );
+        Ok(())
+    }
+
+    fn fleet_query(&self, out: &mut String) -> Result<(), ServeError> {
+        let fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(coord) = fleet.as_ref() else {
+            return Err(ServeError::FleetState("fleet not initialized".into()));
+        };
+        let caps = coord.enforced_caps();
+        let first = caps.first().copied().unwrap_or(Watts::ZERO);
+        let (min, max) = caps
+            .iter()
+            .fold((first, first), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        let _ = write!(
+            out,
+            "ok fleet nodes={} enforced={} min_cap={} max_cap={}",
+            caps.len(),
+            coord.enforced_total().value(),
+            min.value(),
+            max.value()
+        );
+        Ok(())
+    }
+}

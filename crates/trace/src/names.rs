@@ -225,6 +225,36 @@ pub const CLUSTER_REJECTED_BUDGETS: &str = "cluster.rejected_budgets";
 /// fallback partition (gauge, end of last epoch).
 pub const CLUSTER_RECLAIMED_W: &str = "cluster.reclaimed_w";
 
+// --- coordination daemon (crates/serve) --------------------------------
+
+/// Protocol requests accepted for serving (everything except the
+/// control-plane verbs `quit` and `shutdown`, which steer the transport
+/// rather than the coordination state). **Must equal
+/// [`SERVE_SERVED_REQUESTS`] + [`SERVE_REJECTED_REQUESTS`] on every
+/// run** — the serving conservation law.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests that were served with an `ok`/`alloc` response.
+pub const SERVE_SERVED_REQUESTS: &str = "serve.served_requests";
+/// Requests rejected with a typed `err` response (malformed lines,
+/// unknown sessions, and validation rejections mirrored from the
+/// coordinator). A reject answers the client and keeps the session and
+/// connection alive — it never kills either.
+pub const SERVE_REJECTED_REQUESTS: &str = "serve.rejected_requests";
+/// Coordination sessions opened over the lifetime of the daemon
+/// (`node` and `provision` requests).
+pub const SERVE_SESSIONS_OPENED: &str = "serve.sessions_opened";
+/// TCP connections accepted over the lifetime of the daemon.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Telemetry export ticks completed (one per interval, per exporter
+/// fleet pass, plus the final drain flush).
+pub const SERVE_EXPORTS: &str = "serve.exports";
+/// Prometheus `/metrics` scrapes answered.
+pub const SERVE_SCRAPES: &str = "serve.scrapes";
+/// Live coordination sessions (gauge).
+pub const SERVE_SESSIONS: &str = "serve.sessions";
+/// Open client TCP connections (gauge).
+pub const SERVE_OPEN_CONNECTIONS: &str = "serve.open_connections";
+
 // --- node health state machine (crates/cluster/src/health.rs) ---------
 
 /// Healthy → Suspect transitions (a node's reports started missing or

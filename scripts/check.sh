@@ -78,6 +78,11 @@ grep -q '{"type":"counter","name":"health.quarantine_leaks","value":0}' "$chaos_
     || { echo "error: health.quarantine_leaks != 0 in $chaos_trace" >&2; exit 1; }
 echo "    trace laws held: cluster.budget_violations == 0, health.quarantine_leaks == 0"
 
+echo "==> serve smoke (daemon round trips, drain laws, replay equivalence, via real sockets)"
+cargo test -q -p pbc-serve --test replay_equivalence
+cargo test -q -p pbc-serve --test drain
+cargo test -q -p pbc-cli --test serve_smoke
+
 echo "==> timed benches (append machine-readable records to BENCH_sweep.json)"
 # BENCH_sweep.json is the *fresh-file* gate input: it must contain only
 # this run's records, so the ratio greps below can never match a stale
@@ -119,5 +124,30 @@ test -n "$fp_ratio" || { echo "error: no fastpath bench-ratio record in BENCH_sw
 awk -v r="$fp_ratio" 'BEGIN { exit (r >= 10.0 ? 0 : 1) }' \
     || { echo "error: fast-path speedup ${fp_ratio}x is below the 10x bar" >&2; exit 1; }
 echo "    fast-path speedup: ${fp_ratio}x"
+
+echo "==> serve-bench gate (>= 100k queries/sec sustained, p99 dispatch < 50 us)"
+# Load-test the shipped daemon binary: thousands of concurrent simulated
+# nodes over live pipelined TCP, dispatch latency over the identical
+# in-process path (docs/SERVING.md). Fresh-file rule as for BENCH_sweep.
+rm -f BENCH_serve.json
+serve_runner=""
+if command -v timeout >/dev/null 2>&1; then serve_runner="timeout 120"; fi
+$serve_runner ./target/release/pbc serve-bench --nodes 1024 --workers 2 \
+    --pipeline 64 --duration-ms 1500 --save BENCH_serve.json > /dev/null \
+    || { echo "error: pbc serve-bench failed or timed out" >&2; exit 1; }
+test -s BENCH_serve.json || { echo "error: serve-bench wrote no record" >&2; exit 1; }
+qps=$(grep '"type":"serve-bench"' BENCH_serve.json \
+    | sed 's/.*"qps"://; s/[^0-9.].*//')
+p99_us=$(grep '"type":"serve-bench"' BENCH_serve.json \
+    | sed 's/.*"p99_us"://; s/[^0-9.].*//')
+test -n "$qps" && test -n "$p99_us" \
+    || { echo "error: BENCH_serve.json is missing qps/p99_us" >&2; exit 1; }
+awk -v q="$qps" 'BEGIN { exit (q >= 100000 ? 0 : 1) }' \
+    || { echo "error: serve-bench qps ${qps} is below the 100k floor" >&2; exit 1; }
+awk -v p="$p99_us" 'BEGIN { exit (p < 50 ? 0 : 1) }' \
+    || { echo "error: serve-bench p99 ${p99_us}us breaks the 50us ceiling" >&2; exit 1; }
+sed "s/^{/{\"run\":\"${run_stamp}\",\"commit\":\"${run_commit}\",/" \
+    BENCH_serve.json >> results/bench_history.jsonl
+echo "    serve: ${qps} queries/sec, p99 ${p99_us}us (BENCH_serve.json; history appended)"
 
 echo "all checks passed"
