@@ -33,13 +33,19 @@ USAGE:
                 [--epochs N]             run a fault plan against the
                                         online loop, print survival report
   pbc cluster   -p SPEC-FILE -b WATTS [--plan NAME] [--seed N]
-                [--epochs N]             coordinate a fleet of nodes under
+                [--epochs N] [--objective NAME] [--tenants SPEC]
+                                        coordinate a fleet of nodes under
                                         one global budget; with --epochs,
                                         replay a fault plan on top
   pbc cluster-chaos -p SPEC-FILE -b WATTS [--plan NAME] [--seed N]
-                [--epochs N]             replay a fleet fault plan with a
+                [--epochs N] [--objective NAME] [--tenants SPEC]
+                                        replay a fleet fault plan with a
                                         mock RAPL tree as the cap sink,
-                                        print the survival report
+                                        print the survival report;
+                                        --objective picks throughput |
+                                        max-min | weighted, --tenants
+                                        co-locates name:weight[:sla]
+                                        groups on every node
   pbc faults list                       list every canned fault plan
   pbc rapl-status                       read real RAPL domains (Linux)
   pbc serve     [--port N] [--prom-port N] [--snapshot FILE] [--stream]
@@ -90,6 +96,8 @@ struct Args {
     plan: Option<String>,
     seed: Option<u64>,
     epochs: Option<usize>,
+    objective: Option<String>,
+    tenants: Option<String>,
     port: Option<u16>,
     prom_port: Option<u16>,
     snapshot: Option<String>,
@@ -115,6 +123,8 @@ fn parse(rest: &[String]) -> Result<Args, String> {
         plan: None,
         seed: None,
         epochs: None,
+        objective: None,
+        tenants: None,
         port: None,
         prom_port: None,
         snapshot: None,
@@ -198,6 +208,14 @@ fn parse(rest: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad epoch count: {e}"))?,
                 );
+                i += 2;
+            }
+            "--objective" => {
+                args.objective = Some(take(i)?.clone());
+                i += 2;
+            }
+            "--tenants" => {
+                args.tenants = Some(take(i)?.clone());
                 i += 2;
             }
             "--port" => {
@@ -369,6 +387,8 @@ fn run(argv: &[String]) -> Result<String, String> {
                 a.plan.as_deref().unwrap_or("calm"),
                 a.seed.unwrap_or(42),
                 a.epochs.unwrap_or(0),
+                a.objective.as_deref().unwrap_or("throughput"),
+                a.tenants.as_deref(),
             )
             .map_err(e)
         }
@@ -380,6 +400,8 @@ fn run(argv: &[String]) -> Result<String, String> {
                 a.plan.as_deref().unwrap_or("everything"),
                 a.seed.unwrap_or(42),
                 a.epochs.unwrap_or(0),
+                a.objective.as_deref().unwrap_or("throughput"),
+                a.tenants.as_deref(),
             )
             .map_err(e)
         }

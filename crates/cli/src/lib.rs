@@ -434,12 +434,16 @@ pub fn cmd_chaos(
     Ok(report.to_string())
 }
 
-/// `pbc cluster -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]`
+/// `pbc cluster -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]
+/// [--objective NAME] [--tenants SPEC]`
 ///
 /// Hierarchical coordination for a fleet of simulated nodes under one
 /// global budget. The spec file lists `[COUNT] PLATFORM BENCH` lines
 /// (see `docs/CLUSTER.md`). The static comparison always runs; with
 /// `--epochs N` the dynamic loop replays a fault plan on top.
+/// `--objective` picks the partition objective (`throughput`,
+/// `max-min`, `weighted`); `--tenants name:weight[:sla],…` co-locates a
+/// weighted tenant set on every node.
 #[must_use = "the rendered fleet comparison is the command's entire output"]
 pub fn cmd_cluster(
     spec_path: &str,
@@ -447,24 +451,47 @@ pub fn cmd_cluster(
     plan_name: &str,
     seed: u64,
     epochs: usize,
+    objective_name: &str,
+    tenant_spec: Option<&str>,
 ) -> Result<String> {
     let text = std::fs::read_to_string(spec_path)
         .map_err(|e| PbcError::Io(format!("could not read fleet spec {spec_path:?}: {e}")))?;
     let spec = pbc_cluster::parse_spec(&text)?;
     let fleet = pbc_cluster::Fleet::build(&spec)?;
     let global = Watts::new(budget);
-    let coordinator = pbc_cluster::ClusterCoordinator::new(fleet, global)?;
+    let objective = pbc_cluster::Objective::parse(objective_name)?;
+    let tenants = tenant_spec.map(pbc_cluster::TenantSet::parse).transpose()?;
+    let mut coordinator =
+        pbc_cluster::ClusterCoordinator::new(fleet, global)?.with_objective(objective);
+    if let Some(set) = tenants {
+        coordinator = coordinator.with_tenants(set);
+    }
+    let coordinator = coordinator;
 
     let mut out = String::new();
     let fleet = coordinator.fleet();
     let _ = writeln!(
         out,
-        "fleet: {} nodes in {} classes, global budget {:.1} W (floor {:.1} W)",
+        "fleet: {} nodes in {} classes, global budget {:.1} W (floor {:.1} W), \
+         objective {}",
         fleet.len(),
         fleet.classes.len(),
         global.value(),
-        fleet.min_total_power().value()
+        fleet.min_total_power().value(),
+        objective.name()
     );
+    if let Some(set) = coordinator.tenants() {
+        let _ = writeln!(
+            out,
+            "tenants ({} per node): {}",
+            set.len(),
+            set.tenants()
+                .iter()
+                .map(|t| format!("{}:{}:{}", t.name, t.weight, t.sla.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     for (idx, class) in fleet.classes.iter().enumerate() {
         let count = fleet.nodes.iter().filter(|&&c| c == idx).count();
         let _ = writeln!(
@@ -539,6 +566,18 @@ pub fn cmd_cluster(
             "  aggregate perf: final {:.3}, mean {:.3}",
             report.final_aggregate, report.mean_aggregate
         );
+        if coordinator.tenants().is_some() {
+            let _ = writeln!(
+                out,
+                "  tenants: {} demand spikes, {} noisy epochs, {} preemptions, \
+                 {} floor violations, min Jain {:.3}",
+                report.tenant_spikes,
+                report.tenant_noisy,
+                report.tenant_preemptions,
+                report.tenant_floor_violations,
+                report.min_tenant_jain
+            );
+        }
         let verdict = if report.survived() {
             "SURVIVED: the enforced total never exceeded the global budget and no \
              quarantined watts leaked"
@@ -550,13 +589,16 @@ pub fn cmd_cluster(
     Ok(out)
 }
 
-/// `pbc cluster-chaos -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]`
+/// `pbc cluster-chaos -p SPEC-FILE -b WATTS [--plan NAME] [--seed N] [--epochs N]
+/// [--objective NAME] [--tenants SPEC]`
 ///
 /// The full fleet fault-tolerance harness: replay a
 /// `pbc_faults::FleetFaultPlan` against the hierarchical coordinator
 /// with a mock RAPL tree as the cap sink, and print the survival
 /// report (`--epochs 0` runs to the plan's quiet point plus a settling
-/// margin).
+/// margin). With `--tenants`, the plan's demand-spike and
+/// noisy-neighbor draws go live and zero tenant floor violations joins
+/// the survival criteria.
 #[must_use = "the rendered survival report is the command's entire output"]
 pub fn cmd_cluster_chaos(
     spec_path: &str,
@@ -564,6 +606,8 @@ pub fn cmd_cluster_chaos(
     plan_name: &str,
     seed: u64,
     epochs: usize,
+    objective_name: &str,
+    tenant_spec: Option<&str>,
 ) -> Result<String> {
     let text = std::fs::read_to_string(spec_path)
         .map_err(|e| PbcError::Io(format!("could not read fleet spec {spec_path:?}: {e}")))?;
@@ -575,7 +619,16 @@ pub fn cmd_cluster_chaos(
             pbc_cluster::PLAN_NAMES.join(", ")
         ))
     })?;
-    let report = pbc_cluster::run_cluster_chaos(fleet, Watts::new(budget), &plan, epochs)?;
+    let objective = pbc_cluster::Objective::parse(objective_name)?;
+    let tenants = tenant_spec.map(pbc_cluster::TenantSet::parse).transpose()?;
+    let report = pbc_cluster::run_cluster_chaos_with(
+        fleet,
+        Watts::new(budget),
+        &plan,
+        epochs,
+        objective,
+        tenants,
+    )?;
     Ok(report.to_string())
 }
 
@@ -918,18 +971,44 @@ mod tests {
     fn cluster_renders_the_three_way_comparison() {
         let path = std::env::temp_dir().join(format!("pbc-cli-fleet-{}.txt", std::process::id()));
         std::fs::write(&path, "2 ivybridge stream\nhaswell dgemm\n").unwrap();
-        let out = cmd_cluster(path.to_str().unwrap(), 800.0, "calm", 1, 0).unwrap();
+        let out =
+            cmd_cluster(path.to_str().unwrap(), 800.0, "calm", 1, 0, "throughput", None).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(out.contains("3 nodes in 2 classes"), "{out}");
+        assert!(out.contains("objective throughput"), "{out}");
         assert!(out.contains("aggregate perf COORD"), "{out}");
         assert!(out.contains("aggregate perf uniform-split"), "{out}");
         assert!(out.contains("aggregate perf oracle"), "{out}");
     }
 
     #[test]
+    fn cluster_renders_tenants_and_rejects_bad_objectives() {
+        let path =
+            std::env::temp_dir().join(format!("pbc-cli-tenants-{}.txt", std::process::id()));
+        std::fs::write(&path, "2 ivybridge stream\n").unwrap();
+        let spec = path.to_str().unwrap().to_string();
+        let out = cmd_cluster(
+            &spec,
+            500.0,
+            "demand-spike",
+            3,
+            40,
+            "max-min",
+            Some("web:3:gold,batch:1"),
+        )
+        .unwrap();
+        assert!(out.contains("objective max-min"), "{out}");
+        assert!(out.contains("tenants (2 per node)"), "{out}");
+        assert!(out.contains("min Jain"), "{out}");
+        assert!(cmd_cluster(&spec, 500.0, "calm", 1, 0, "round-robin", None).is_err());
+        assert!(cmd_cluster(&spec, 500.0, "calm", 1, 0, "throughput", Some("web:-1")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn cluster_rejects_a_missing_spec_file() {
         assert!(matches!(
-            cmd_cluster("/no/such/fleet.txt", 800.0, "calm", 1, 0),
+            cmd_cluster("/no/such/fleet.txt", 800.0, "calm", 1, 0, "throughput", None),
             Err(PbcError::Io(_))
         ));
     }

@@ -24,6 +24,8 @@
 
 use crate::coordinator::{CapSink, ClusterReport, FleetCoordinator};
 use crate::fleet::Fleet;
+use crate::partition::Objective;
+use crate::tenant::TenantSet;
 use pbc_faults::FleetFaultPlan;
 use pbc_rapl::{mock, RaplDomain, RaplSysfs};
 use pbc_types::{PbcError, Result, Watts};
@@ -177,6 +179,19 @@ impl fmt::Display for ClusterChaosReport {
                 None => "never".to_string(),
             }
         )?;
+        if r.tenant_spikes + r.tenant_noisy + r.tenant_preemptions + r.tenant_floor_violations > 0
+        {
+            writeln!(
+                f,
+                "  tenants: {} demand spikes, {} noisy epochs, {} preemptions, \
+                 {} floor violations, min Jain {:.3}",
+                r.tenant_spikes,
+                r.tenant_noisy,
+                r.tenant_preemptions,
+                r.tenant_floor_violations,
+                r.min_tenant_jain
+            )?;
+        }
         write!(
             f,
             "  invariants: {} budget violations, {} quarantine leaks, \
@@ -201,6 +216,23 @@ pub fn run_cluster_chaos(
     plan: &FleetFaultPlan,
     epochs: usize,
 ) -> Result<ClusterChaosReport> {
+    run_cluster_chaos_with(fleet, global, plan, epochs, Objective::default(), None)
+}
+
+/// [`run_cluster_chaos`] with an explicit allocation objective and an
+/// optional tenant set co-located on every node — the multi-tenant
+/// harness entry. With tenants present the plan's demand-spike and
+/// noisy-neighbor draws go live, and the report's
+/// `tenant_floor_violations` joins the survival criteria.
+#[must_use = "the survival report is the run's entire result"]
+pub fn run_cluster_chaos_with(
+    fleet: Fleet,
+    global: Watts,
+    plan: &FleetFaultPlan,
+    epochs: usize,
+    objective: Objective,
+    tenants: Option<TenantSet>,
+) -> Result<ClusterChaosReport> {
     let epochs = if epochs == 0 {
         plan.quiet_after() + SETTLE_EPOCHS
     } else {
@@ -209,13 +241,14 @@ pub fn run_cluster_chaos(
     let nodes = fleet.len();
 
     let root = chaos_root(&plan.name)?;
-    let result = run_in_tree(&root, fleet, global, plan, epochs, nodes);
+    let result = run_in_tree(&root, fleet, global, plan, epochs, nodes, objective, tenants);
     let _ = std::fs::remove_dir_all(&root);
     result
 }
 
 /// The harness body, split out so the tempdir is removed on every exit
 /// path.
+#[allow(clippy::too_many_arguments)]
 fn run_in_tree(
     root: &PathBuf,
     fleet: Fleet,
@@ -223,13 +256,19 @@ fn run_in_tree(
     plan: &FleetFaultPlan,
     epochs: usize,
     nodes: usize,
+    objective: Objective,
+    tenants: Option<TenantSet>,
 ) -> Result<ClusterChaosReport> {
     mock::sysfs_tree(root, nodes, 0)?;
     let sink = MockFleetSink::new(RaplSysfs::discover_at(root)?, nodes)?;
 
     let mut coord = FleetCoordinator::new(fleet, global)?
         .with_plan(plan.clone())?
+        .with_objective(objective)
         .with_cap_sink(Box::new(sink));
+    if let Some(set) = tenants {
+        coord = coord.with_tenants(set);
+    }
     // Nodes boot on the known-safe static partition — the tree and the
     // coordinator's enforced state agree before the first fault draw.
     coord.provision()?;

@@ -43,7 +43,8 @@
 use crate::degrade::StaticFallback;
 use crate::fleet::Fleet;
 use crate::health::{HealthConfig, HealthCounts, HealthTracker, NodeHealth, ReportVerdict};
-use crate::partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};
+use crate::partition::{fill_shares, uniform_split, NodeCurve, Objective, DEFAULT_GRANT};
+use crate::tenant::{jain_index, TenantSet};
 use pbc_faults::inject::{decision_rng, write_key};
 use pbc_faults::{FaultClock, FleetFaultPlan};
 use pbc_par::Pool;
@@ -66,6 +67,10 @@ const STREAM_REPORT: u64 = 0x5EED_0013;
 const STREAM_STRAGGLE: u64 = 0x5EED_0014;
 /// Stream constant for per-node write-outage onset decisions.
 const STREAM_WRITE_OUTAGE: u64 = 0x5EED_0015;
+/// Stream constant for per-tenant demand-spike onset decisions.
+const STREAM_TENANT_SPIKE: u64 = 0x5EED_0016;
+/// Stream constant for per-tenant noisy-neighbor onset decisions.
+const STREAM_TENANT_NOISY: u64 = 0x5EED_0017;
 /// Watt slack below which a cap move is not worth a write.
 const EPS_W: f64 = 1e-6;
 /// Reported throughput surrogates above this are sensor garbage — the
@@ -137,6 +142,19 @@ pub struct EpochReport {
     /// Watts freed for the healthy pool by down/quarantined/rejoining
     /// nodes, relative to the static fallback partition.
     pub reclaimed: Watts,
+    /// Tenant demand spikes that started this epoch.
+    pub tenant_spikes: usize,
+    /// Noisy-neighbor stretches that started this epoch.
+    pub tenant_noisy: usize,
+    /// Lower-SLA tenants preempted on some node this epoch (summed over
+    /// live nodes).
+    pub tenant_preemptions: usize,
+    /// Tenants allocated below their weighted floor on some node —
+    /// structurally zero.
+    pub tenant_floor_violations: usize,
+    /// Jain fairness index over the weight-normalized per-tenant fleet
+    /// allocations (1.0 when the fleet runs single-tenant).
+    pub tenant_jain: f64,
 }
 
 /// Survival summary of a dynamic run.
@@ -186,14 +204,29 @@ pub struct ClusterReport {
     /// was Healthy on an undegraded epoch; `None` if the run ended
     /// before reconverging.
     pub reconverged_at: Option<usize>,
+    /// Total tenant demand-spike events.
+    pub tenant_spikes: usize,
+    /// Total noisy-neighbor events.
+    pub tenant_noisy: usize,
+    /// Total tenant preemption events (lower tiers squeezed out by
+    /// higher-SLA demand).
+    pub tenant_preemptions: usize,
+    /// Node-epoch × tenant allocations below the weighted floor — the
+    /// third structural invariant; must be zero.
+    pub tenant_floor_violations: usize,
+    /// Smallest per-epoch Jain fairness index seen (1.0 for runs with
+    /// no tenants attached, or zero epochs).
+    pub min_tenant_jain: f64,
 }
 
 impl ClusterReport {
-    /// Did the run hold both structural invariants — no budget
-    /// overdraw, no quarantine leak?
+    /// Did the run hold the structural invariants — no budget overdraw,
+    /// no quarantine leak, no tenant starved below its weighted floor?
     #[must_use]
     pub fn survived(&self) -> bool {
-        self.budget_violations == 0 && self.quarantine_leaks == 0
+        self.budget_violations == 0
+            && self.quarantine_leaks == 0
+            && self.tenant_floor_violations == 0
     }
 }
 
@@ -203,6 +236,21 @@ struct WriteStats {
     failures: usize,
     retries: usize,
     timed_out: bool,
+}
+
+/// What the tenant sub-partition did in one epoch.
+#[derive(Debug, Clone, Copy)]
+struct TenancyStats {
+    jain: f64,
+    preemptions: usize,
+    floor_violations: usize,
+}
+
+impl Default for TenancyStats {
+    fn default() -> Self {
+        // No tenants, nothing unfair: a perfect score, zero events.
+        Self { jain: 1.0, preemptions: 0, floor_violations: 0 }
+    }
 }
 
 /// Hierarchical, fault-tolerant coordinator for a fleet under one
@@ -239,6 +287,15 @@ pub struct FleetCoordinator {
     /// must run degraded.
     prev_round_timed_out: bool,
     sink: Option<Box<dyn CapSink + Send>>,
+    /// What the partitioner optimizes (throughput water-fill by
+    /// default; max-min or weighted shares for multi-tenant fleets).
+    objective: Objective,
+    /// Tenants co-located on every node; `None` runs single-tenant.
+    tenants: Option<TenantSet>,
+    /// `Some(t)` when the tenant's demand spike lasts until tick `t`.
+    tenant_spike_until: Vec<Option<usize>>,
+    /// `Some(t)` when the tenant hogs as a noisy neighbor until `t`.
+    tenant_noisy_until: Vec<Option<usize>>,
 }
 
 /// The historical name, kept alive for callers from the pre-health era.
@@ -297,6 +354,10 @@ impl FleetCoordinator {
             write_outage_until: vec![None; n],
             prev_round_timed_out: false,
             sink: None,
+            objective: Objective::Throughput,
+            tenants: None,
+            tenant_spike_until: Vec::new(),
+            tenant_noisy_until: Vec::new(),
             fleet,
         })
     }
@@ -331,6 +392,41 @@ impl FleetCoordinator {
     pub fn with_cap_sink(mut self, sink: Box<dyn CapSink + Send>) -> Self {
         self.sink = Some(sink);
         self
+    }
+
+    /// Choose the allocation objective (defaults to
+    /// [`Objective::Throughput`], the historical water-fill).
+    #[must_use = "the configured coordinator is returned by value"]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Attach a tenant set: every node's share is sub-partitioned among
+    /// these tenants (weighted floors first, then surplus by SLA tier),
+    /// and per-epoch fairness is scored with Jain's index.
+    #[must_use = "the configured coordinator is returned by value"]
+    pub fn with_tenants(mut self, tenants: TenantSet) -> Self {
+        pbc_trace::gauge(names::CLUSTER_TENANTS).set(tenants.len() as f64);
+        // Register the invariant counter so every multi-tenant trace
+        // exports it even at zero (see the same pattern in `new`).
+        let _ = pbc_trace::counter(names::CLUSTER_TENANT_FLOOR_VIOLATIONS);
+        self.tenant_spike_until = vec![None; tenants.len()];
+        self.tenant_noisy_until = vec![None; tenants.len()];
+        self.tenants = Some(tenants);
+        self
+    }
+
+    /// The allocation objective in force.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The attached tenants, when the fleet runs multi-tenant.
+    #[must_use]
+    pub fn tenants(&self) -> Option<&TenantSet> {
+        self.tenants.as_ref()
     }
 
     /// The fleet being coordinated.
@@ -428,7 +524,7 @@ impl FleetCoordinator {
     #[must_use = "the decision result carries either the partition or the failure"]
     pub fn coordinate_with_pool(&self, pool: &Pool) -> Result<ClusterDecision> {
         let curves = self.node_curves();
-        let shares = water_fill(&curves, self.global, self.grant)?;
+        let shares = fill_shares(&curves, &[], self.global, self.grant, self.objective)?;
         evaluate(&self.fleet, &shares, &vec![false; self.fleet.len()], pool)
     }
 
@@ -454,7 +550,7 @@ impl FleetCoordinator {
     #[must_use = "the oracle result carries either the aggregate or the infeasibility"]
     pub fn oracle_aggregate(&self) -> Result<f64> {
         let curves = self.node_curves();
-        let shares = water_fill(&curves, self.global, self.grant)?;
+        let shares = fill_shares(&curves, &[], self.global, self.grant, self.objective)?;
         Ok(shares
             .iter()
             .zip(curves.iter())
@@ -489,6 +585,7 @@ impl FleetCoordinator {
         let (dropped, recovered) = self.roll_membership(tick);
         self.roll_stragglers(tick);
         self.roll_write_outages(tick);
+        let (tenant_spikes, tenant_noisy) = self.roll_tenant_demand(tick);
         let down: Vec<bool> = self.down_until.iter().map(Option::is_some).collect();
         let up = down.iter().filter(|d| !**d).count();
 
@@ -569,6 +666,11 @@ impl FleetCoordinator {
             .map(|i| (self.fallback.share(i) - self.enforced[i]).max(Watts::ZERO))
             .sum();
 
+        // Tenant accounting: sub-partition every live node's enforced
+        // cap, score fleet-level fairness, and verify the weighted
+        // floors held — the multi-tenant mirror of the budget audit.
+        let tenancy = self.tenant_epoch(&down);
+
         let health = self.health.counts();
         pbc_trace::counter(names::CLUSTER_EPOCHS).incr();
         pbc_trace::gauge(names::CLUSTER_NODES_UP).set(up as f64);
@@ -593,6 +695,11 @@ impl FleetCoordinator {
             enforced_total,
             moved,
             reclaimed,
+            tenant_spikes,
+            tenant_noisy,
+            tenant_preemptions: tenancy.preemptions,
+            tenant_floor_violations: tenancy.floor_violations,
+            tenant_jain: tenancy.jain,
         })
     }
 
@@ -611,6 +718,7 @@ impl FleetCoordinator {
         let leaks_before = pbc_trace::counter(names::HEALTH_QUARANTINE_LEAKS).get();
         let mut report = ClusterReport {
             min_nodes_up: n,
+            min_tenant_jain: 1.0,
             ..ClusterReport::default()
         };
         let mut healthy_node_epochs = 0usize;
@@ -623,6 +731,11 @@ impl FleetCoordinator {
             report.write_retries += e.write_retries;
             report.missed_reports += e.missed_reports;
             report.rejected_reports += e.rejected_reports;
+            report.tenant_spikes += e.tenant_spikes;
+            report.tenant_noisy += e.tenant_noisy;
+            report.tenant_preemptions += e.tenant_preemptions;
+            report.tenant_floor_violations += e.tenant_floor_violations;
+            report.min_tenant_jain = report.min_tenant_jain.min(e.tenant_jain);
             if e.degraded {
                 report.degraded_epochs += 1;
             }
@@ -716,6 +829,67 @@ impl FleetCoordinator {
                 }
             }
         }
+    }
+
+    /// Tenant demand-spike and noisy-neighbor onset/expiry for this
+    /// tick. Inert without tenants: no draws, so single-tenant runs
+    /// replay exactly as before tenancy existed. Returns `(spikes,
+    /// noisy)` onset counts.
+    fn roll_tenant_demand(&mut self, tick: usize) -> (usize, usize) {
+        if self.tenants.is_none() {
+            return (0, 0);
+        }
+        let faults = self.plan.tenants;
+        let mut spikes = 0;
+        let mut noisy = 0;
+        for t in 0..self.tenant_spike_until.len() {
+            match self.tenant_spike_until[t] {
+                Some(until) if tick >= until => self.tenant_spike_until[t] = None,
+                Some(_) => {}
+                None if faults.spike_prob > 0.0 && faults.spike_window.active(tick) => {
+                    let mut rng = decision_rng(self.plan.seed, tick, STREAM_TENANT_SPIKE, t as u64);
+                    if rng.next_f64() < faults.spike_prob {
+                        self.tenant_spike_until[t] = Some(tick + faults.spike_epochs.max(1));
+                        spikes += 1;
+                        pbc_trace::counter(names::CLUSTER_TENANT_SPIKES).incr();
+                    }
+                }
+                None => {}
+            }
+            match self.tenant_noisy_until[t] {
+                Some(until) if tick >= until => self.tenant_noisy_until[t] = None,
+                Some(_) => {}
+                None if faults.noisy_prob > 0.0 && faults.noisy_window.active(tick) => {
+                    let mut rng = decision_rng(self.plan.seed, tick, STREAM_TENANT_NOISY, t as u64);
+                    if rng.next_f64() < faults.noisy_prob {
+                        self.tenant_noisy_until[t] = Some(tick + faults.noisy_epochs.max(1));
+                        noisy += 1;
+                        pbc_trace::counter(names::CLUSTER_TENANT_NOISY).incr();
+                    }
+                }
+                None => {}
+            }
+        }
+        (spikes, noisy)
+    }
+
+    /// The demand multiplier each tenant currently runs at: 1 when
+    /// calm, the plan's spike/noisy factor (whichever is larger) while
+    /// an event is active.
+    fn tenant_demand(&self) -> Vec<f64> {
+        let faults = self.plan.tenants;
+        (0..self.tenant_spike_until.len())
+            .map(|t| {
+                let mut d = 1.0f64;
+                if self.tenant_spike_until[t].is_some() {
+                    d = d.max(faults.spike_factor);
+                }
+                if self.tenant_noisy_until[t].is_some() {
+                    d = d.max(faults.noisy_factor);
+                }
+                d
+            })
+            .collect()
     }
 
     /// Per-node cap-write-path outage onset/expiry for this tick.
@@ -850,10 +1024,10 @@ impl FleetCoordinator {
         }
         let avail = self.global - reserved;
         let live_curves: Vec<NodeCurve<'_>> = allocatable.iter().map(|&i| curves[i]).collect();
-        let shares = match water_fill(&live_curves, avail, self.grant) {
+        let shares = match fill_shares(&live_curves, &[], avail, self.grant, self.objective) {
             Ok(s) => s,
             Err(e) if e.is_infeasible() => return false,
-            // Water-fill only fails on infeasibility today; treat
+            // The fill only fails on infeasibility today; treat
             // anything else the same way — degraded is the safe floor.
             Err(_) => return false,
         };
@@ -868,6 +1042,47 @@ impl FleetCoordinator {
             }
         }
         true
+    }
+
+    /// Sub-partition every live node's enforced cap among the tenants
+    /// and score the epoch: fleet-level Jain index on weight-normalized
+    /// tenant watts, preemption events, and weighted-floor violations
+    /// (structurally zero). Single-tenant fleets score a perfect 1.
+    fn tenant_epoch(&self, down: &[bool]) -> TenancyStats {
+        let Some(tenants) = self.tenants.as_ref() else {
+            return TenancyStats::default();
+        };
+        let demand = self.tenant_demand();
+        let mut watts = vec![0.0f64; tenants.len()];
+        let mut preemptions = 0;
+        let mut floor_violations = 0;
+        for i in 0..self.fleet.len() {
+            if down[i] || self.enforced[i].value() <= EPS_W {
+                continue;
+            }
+            let floor = self.fleet.class_of(i).floor;
+            let split = tenants.split_node(self.enforced[i], floor, &demand);
+            preemptions += split.preemptions;
+            floor_violations += split.floor_violations;
+            for (t, s) in split.shares.iter().enumerate() {
+                watts[t] += s.value();
+            }
+        }
+        let normalized: Vec<f64> = watts
+            .iter()
+            .zip(tenants.tenants().iter())
+            .map(|(w, t)| w / t.weight)
+            .collect();
+        let jain = jain_index(&normalized);
+        if preemptions > 0 {
+            pbc_trace::counter(names::CLUSTER_TENANT_PREEMPTIONS).add(preemptions as u64);
+        }
+        if floor_violations > 0 {
+            pbc_trace::counter(names::CLUSTER_TENANT_FLOOR_VIOLATIONS)
+                .add(floor_violations as u64);
+        }
+        pbc_trace::gauge(names::CLUSTER_TENANT_JAIN).set(jain);
+        TenancyStats { jain, preemptions, floor_violations }
     }
 
     /// Move enforced caps toward `targets`, decreases first, each write
@@ -1224,6 +1439,70 @@ mod tests {
         let a = run(1);
         let b = run(4);
         assert_eq!(a, b, "the same plan must replay identically across thread counts");
+    }
+
+    #[test]
+    fn tenant_chaos_never_overdraws_or_starves_a_floor() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let tenants = TenantSet::parse("batch:1:best-effort,web:3:gold,etl:2:silver").unwrap();
+        let plan = FleetFaultPlan::noisy_neighbor(9);
+        let quiet = plan.quiet_after();
+        let mut coord = FleetCoordinator::new(fleet, global)
+            .unwrap()
+            .with_plan(plan)
+            .unwrap()
+            .with_tenants(tenants);
+        let report = coord.run(quiet + 8).unwrap();
+        assert!(report.tenant_spikes + report.tenant_noisy > 0, "seed 9 must fire tenant events");
+        assert_eq!(report.budget_violations, 0, "demand spikes must never overdraw the budget");
+        assert_eq!(report.tenant_floor_violations, 0, "no weighted tenant may fall below its floor");
+        assert!(report.survived());
+        assert!(report.min_tenant_jain > 0.0 && report.min_tenant_jain <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn objective_runs_replay_bit_identically() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        for objective in [Objective::MaxMin, Objective::WeightedShares] {
+            let run = |threads: usize| {
+                let pool = Pool::new(threads);
+                let mut coord = FleetCoordinator::new(fleet.clone(), global)
+                    .unwrap()
+                    .with_plan(FleetFaultPlan::demand_spike(13))
+                    .unwrap()
+                    .with_objective(objective)
+                    .with_tenants(TenantSet::parse("a:1:gold,b:2").unwrap());
+                coord.run_with_pool(24, &pool).unwrap()
+            };
+            let a = run(1);
+            let b = run(4);
+            assert_eq!(a, b, "{} runs must replay identically across thread counts", objective.name());
+        }
+    }
+
+    #[test]
+    fn single_tenant_runs_match_the_untenanted_baseline() {
+        let fleet = mixed_fleet();
+        let global = fleet.min_total_power() + Watts::new(150.0);
+        let plan = FleetFaultPlan::everything(11);
+        let mut plain = FleetCoordinator::new(fleet.clone(), global)
+            .unwrap()
+            .with_plan(plan.clone())
+            .unwrap();
+        let mut tenanted = FleetCoordinator::new(fleet, global)
+            .unwrap()
+            .with_plan(plan)
+            .unwrap()
+            .with_tenants(TenantSet::parse("solo:1").unwrap());
+        let a = plain.run(20).unwrap();
+        let b = tenanted.run(20).unwrap();
+        assert_eq!(a.budget_violations, b.budget_violations);
+        assert_eq!(a.dropouts, b.dropouts, "tenant rolls must not perturb the fault streams");
+        assert_eq!(a.work_done, b.work_done, "a lone tenant owns every watt the node gets");
+        assert_eq!(b.tenant_floor_violations, 0);
+        assert!((b.min_tenant_jain - 1.0).abs() < 1e-12, "one tenant is perfectly fair");
     }
 
     #[test]

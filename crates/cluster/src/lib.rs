@@ -47,8 +47,9 @@ pub mod degrade;
 pub mod fleet;
 pub mod health;
 pub mod partition;
+pub mod tenant;
 
-pub use chaos::{run_cluster_chaos, ClusterChaosReport};
+pub use chaos::{run_cluster_chaos, run_cluster_chaos_with, ClusterChaosReport};
 pub use coordinator::{
     CapSink, ClusterCoordinator, ClusterDecision, ClusterReport, EpochReport, FleetCoordinator,
 };
@@ -56,7 +57,8 @@ pub use curve::{node_ceiling, node_floor, PerfCurve, SAMPLE_STEP};
 pub use degrade::StaticFallback;
 pub use fleet::{parse_spec, ClassCoord, Fleet, NodeClass, SpecLine};
 pub use health::{HealthConfig, HealthCounts, HealthTally, HealthTracker, NodeHealth, ReportVerdict};
-pub use partition::{uniform_split, water_fill, NodeCurve, DEFAULT_GRANT};
+pub use partition::{fill_shares, uniform_split, water_fill, NodeCurve, Objective, DEFAULT_GRANT};
+pub use tenant::{jain_index, NodeSplit, SlaClass, Tenant, TenantSet};
 
 /// The fleet fault-plan preset names, re-exported so CLI callers can
 /// list them without depending on `pbc-faults` directly.

@@ -20,6 +20,54 @@ use pbc_types::{PbcError, Result, Watts};
 /// Default grant quantum for the water-filling pass.
 pub const DEFAULT_GRANT: Watts = Watts::new(4.0);
 
+/// What the partitioner optimizes when it hands out the surplus above
+/// the floors. All three objectives share the same guarantees
+/// (conservation, floors, ceilings, determinism) — they differ only in
+/// *which* node wins the next quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Maximize aggregate fleet throughput: each quantum goes to the
+    /// node with the largest marginal performance gain (the paper's
+    /// water-filling rule). The historical — and default — behavior.
+    #[default]
+    Throughput,
+    /// Max-min fairness: each quantum goes to the node with the *lowest*
+    /// normalized progress (`perf_at(share) / perf_at(ceiling)`), so no
+    /// node is starved while another coasts near its peak.
+    MaxMin,
+    /// Weighted proportional shares: surplus watts above the floors are
+    /// divided in proportion to per-node weights (each quantum goes to
+    /// the node with the smallest `surplus / weight`), the FastCap-style
+    /// tenant-entitlement rule.
+    WeightedShares,
+}
+
+impl Objective {
+    /// Parse a CLI/wire spelling. Accepts the kebab-case names used by
+    /// `pbc cluster --objective` and the serve fleet verbs.
+    #[must_use = "the parse result carries either the objective or the refusal"]
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "throughput" => Ok(Self::Throughput),
+            "max-min" => Ok(Self::MaxMin),
+            "weighted" => Ok(Self::WeightedShares),
+            other => Err(PbcError::InvalidInput(format!(
+                "unknown objective {other:?}: expected throughput, max-min, or weighted"
+            ))),
+        }
+    }
+
+    /// The wire spelling `parse` accepts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Throughput => "throughput",
+            Self::MaxMin => "max-min",
+            Self::WeightedShares => "weighted",
+        }
+    }
+}
+
 /// Marginal gains below this are treated as "flat" — the node has
 /// saturated and stops competing for grants.
 const GAIN_EPS: f64 = 1e-12;
@@ -38,18 +86,77 @@ pub struct NodeCurve<'a> {
     pub curve: &'a PerfCurve,
 }
 
+/// Headroom left under a node's ceiling, clamped at zero (a degenerate
+/// curve whose ceiling sits below the configured floor has none).
+fn headroom(node: &NodeCurve<'_>, share: Watts) -> f64 {
+    (node.curve.ceiling().value() - share.value()).max(0.0)
+}
+
+/// Spread `remaining` watts over the shares without breaching ceilings
+/// where possible: each round splits the leftover evenly across the
+/// nodes that still have ceiling headroom, capped at that headroom, and
+/// loops until the leftover is exhausted or nobody can absorb more.
+/// Only when *every* node is pinned at its ceiling (the budget exceeds
+/// what the fleet can productively hold) is the residue spread evenly
+/// regardless — conservation (Σ shares == global) always wins over
+/// ceilings, matching what the enforcement layer assumes.
+fn spread_leftover(nodes: &[NodeCurve<'_>], shares: &mut [Watts], mut remaining: Watts) {
+    while remaining.value() > BUDGET_EPS {
+        let open: Vec<usize> = (0..nodes.len())
+            .filter(|&i| headroom(&nodes[i], shares[i]) > BUDGET_EPS)
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let even = remaining * (1.0 / open.len() as f64);
+        let mut granted = Watts::ZERO;
+        for &i in &open {
+            let take = Watts::new(even.value().min(headroom(&nodes[i], shares[i])));
+            shares[i] = shares[i] + take;
+            granted = granted + take;
+        }
+        remaining = remaining - granted;
+        if granted.value() <= BUDGET_EPS {
+            break; // float dust can't make progress — fall through
+        }
+    }
+    if remaining.value() > 0.0 {
+        let even = remaining * (1.0 / nodes.len() as f64);
+        for share in shares.iter_mut() {
+            *share = *share + even;
+        }
+    }
+}
+
 /// Partition `global` watts across `nodes` by water-filling in `grant`
 /// quanta. Returns one share per node, in node order.
 ///
 /// Guarantees (the property-test contract):
 /// - conservation: the shares sum to exactly `global` (± float dust);
 /// - feasibility: every share ≥ that node's floor;
+/// - ceilings: no share exceeds its node's ceiling as long as the fleet
+///   can absorb the budget (`global ≤ Σ ceilings`);
 /// - determinism: a pure function of its arguments.
 ///
 /// Fails with [`PbcError::BudgetTooSmall`] when `global` cannot cover
 /// every node's floor — there is no feasible partition at all.
 #[must_use = "the partition result carries either the shares or the infeasibility"]
 pub fn water_fill(nodes: &[NodeCurve<'_>], global: Watts, grant: Watts) -> Result<Vec<Watts>> {
+    fill_shares(nodes, &[], global, grant, Objective::Throughput)
+}
+
+/// Partition `global` watts across `nodes` under the chosen
+/// [`Objective`]. `weights` applies to [`Objective::WeightedShares`]
+/// (one positive weight per node); pass `&[]` for equal weights. The
+/// guarantees are the same as [`water_fill`]'s for every objective.
+#[must_use = "the partition result carries either the shares or the infeasibility"]
+pub fn fill_shares(
+    nodes: &[NodeCurve<'_>],
+    weights: &[f64],
+    global: Watts,
+    grant: Watts,
+    objective: Objective,
+) -> Result<Vec<Watts>> {
     if nodes.is_empty() {
         return Ok(Vec::new());
     }
@@ -63,6 +170,20 @@ pub fn water_fill(nodes: &[NodeCurve<'_>], global: Watts, grant: Watts) -> Resul
             "grant quantum must be a positive finite wattage, got {grant:?}"
         )));
     }
+    if !weights.is_empty() {
+        if weights.len() != nodes.len() {
+            return Err(PbcError::InvalidInput(format!(
+                "got {} weights for {} nodes",
+                weights.len(),
+                nodes.len()
+            )));
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w <= 0.0) {
+            return Err(PbcError::InvalidInput(format!(
+                "node weights must be positive and finite, got {w}"
+            )));
+        }
+    }
     let minimum = nodes.iter().fold(Watts::ZERO, |acc, n| acc + n.floor);
     if global.value() < minimum.value() - BUDGET_EPS {
         return Err(PbcError::BudgetTooSmall {
@@ -72,39 +193,98 @@ pub fn water_fill(nodes: &[NodeCurve<'_>], global: Watts, grant: Watts) -> Resul
     }
     let mut shares: Vec<Watts> = nodes.iter().map(|n| n.floor).collect();
     let mut remaining = global - minimum;
-    // Greedy water-fill: each quantum goes to the node whose curve rises
-    // most for it. Saturated nodes (flat curve ahead) never win.
+    // Greedy fill: each quantum goes to whichever node the objective
+    // ranks first, clamped to that node's ceiling so the last grant
+    // before a flattening point can never overshoot it.
     while remaining.value() > BUDGET_EPS {
         let q = grant.min(remaining);
-        let mut best: Option<(usize, f64)> = None;
-        for (i, node) in nodes.iter().enumerate() {
-            let gain = node.curve.marginal_gain(shares[i], q);
-            let beats = match best {
-                None => gain > GAIN_EPS,
-                Some((_, g)) => gain > g + GAIN_EPS,
-            };
-            if beats {
-                best = Some((i, gain));
+        let winner = match objective {
+            Objective::Throughput => pick_throughput(nodes, &shares, q),
+            Objective::MaxMin => pick_max_min(nodes, &shares),
+            Objective::WeightedShares => pick_weighted(nodes, &shares, weights),
+        };
+        match winner {
+            Some(i) => {
+                let qi = Watts::new(q.value().min(headroom(&nodes[i], shares[i])));
+                shares[i] = shares[i] + qi;
+                remaining = remaining - qi;
             }
-        }
-        match best {
-            Some((i, _)) => {
-                shares[i] = shares[i] + q;
-                remaining = remaining - q;
-            }
-            None => break, // every curve is flat — stop granting greedily
+            None => break, // nobody is eligible — stop granting greedily
         }
     }
-    // Conservation: whatever is left once every node has flattened is
-    // spread evenly so Σ shares == global even when the fleet cannot
-    // productively absorb the whole budget.
+    // Conservation: whatever is left once the objective stops granting
+    // is still assigned so Σ shares == global, preferring nodes with
+    // ceiling headroom.
     if remaining.value() > 0.0 {
-        let even = remaining * (1.0 / nodes.len() as f64);
-        for share in &mut shares {
-            *share = *share + even;
-        }
+        spread_leftover(nodes, &mut shares, remaining);
     }
     Ok(shares)
+}
+
+/// Throughput rule: the node with the largest marginal gain for the
+/// next quantum, queried with the grant clamped to its own headroom.
+/// Saturated nodes (flat curve ahead, or pinned at their ceiling) never
+/// win. Ties break to the lowest node index.
+fn pick_throughput(nodes: &[NodeCurve<'_>], shares: &[Watts], q: Watts) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        let room = headroom(node, shares[i]);
+        if room <= BUDGET_EPS {
+            continue;
+        }
+        let qi = Watts::new(q.value().min(room));
+        let gain = node.curve.marginal_gain(shares[i], qi);
+        let beats = match best {
+            None => gain > GAIN_EPS,
+            Some((_, g)) => gain > g + GAIN_EPS,
+        };
+        if beats {
+            best = Some((i, gain));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Max-min rule: the unsaturated node with the lowest normalized
+/// progress toward its own peak performance. A node whose curve never
+/// rises (peak ≤ 0) counts as fully progressed — watts can't help it.
+/// Ties break to the lowest node index.
+fn pick_max_min(nodes: &[NodeCurve<'_>], shares: &[Watts]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        if headroom(node, shares[i]) <= BUDGET_EPS {
+            continue;
+        }
+        let top = node.curve.perf_at(node.curve.ceiling());
+        let progress = if top > GAIN_EPS {
+            (node.curve.perf_at(shares[i]) / top).min(1.0)
+        } else {
+            1.0
+        };
+        if best.is_none_or(|(_, p)| progress < p - GAIN_EPS) {
+            best = Some((i, progress));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Weighted-shares rule: the unsaturated node with the smallest surplus
+/// (watts above its floor) per unit of weight, so surplus converges to
+/// the weight proportions. Empty `weights` means equal weights. Ties
+/// break to the lowest node index.
+fn pick_weighted(nodes: &[NodeCurve<'_>], shares: &[Watts], weights: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        if headroom(node, shares[i]) <= BUDGET_EPS {
+            continue;
+        }
+        let w = weights.get(i).copied().unwrap_or(1.0);
+        let normalized = (shares[i].value() - node.floor.value()) / w;
+        if best.is_none_or(|(_, n)| normalized < n - GAIN_EPS) {
+            best = Some((i, normalized));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 /// The baseline partition: every node gets `global / n`, floors and
@@ -169,6 +349,139 @@ mod tests {
         let shares = water_fill(&nodes, Watts::new(400.0), Watts::new(4.0)).unwrap();
         let total: f64 = shares.iter().map(|s| s.value()).sum();
         assert!((total - 400.0).abs() < 1e-9, "surplus past saturation must still be assigned");
+    }
+
+    /// A curve that rises all the way to its last rung — no flat tail,
+    /// so the marginal gain stays positive right up to the ceiling.
+    fn ramp(floor: f64, rise: f64, rungs: usize) -> PerfCurve {
+        let perf: Vec<f64> = (0..=rungs).map(|k| rise * k as f64).collect();
+        let allocs = vec![None; perf.len()];
+        PerfCurve {
+            floor: Watts::new(floor),
+            step: Watts::new(8.0),
+            perf,
+            allocs,
+        }
+    }
+
+    /// The conservation-step bug: leftover watts were spread evenly over
+    /// *all* nodes, shoving a node with little headroom past its ceiling
+    /// even though another node could have absorbed the surplus.
+    #[test]
+    fn leftover_goes_only_to_nodes_with_headroom() {
+        let tiny = flat_ramp(50.0, 0.0, 1); // flat curve, ceiling 58: 8 W of headroom
+        let roomy = flat_ramp(50.0, 0.0, 3); // flat curve, ceiling 74: 24 W of headroom
+        let nodes = [
+            NodeCurve { floor: tiny.floor, curve: &tiny },
+            NodeCurve { floor: roomy.floor, curve: &roomy },
+        ];
+        // Both curves are flat, so the greedy pass grants nothing and the
+        // whole 20 W surplus rides on the conservation step. An even
+        // split (10 W each) would put the tiny node at 60 W > 58 W.
+        let shares = water_fill(&nodes, Watts::new(120.0), Watts::new(4.0)).unwrap();
+        assert!(
+            shares[0].value() <= tiny.ceiling().value() + 1e-9,
+            "tiny node got {} W, above its {} W ceiling",
+            shares[0],
+            tiny.ceiling()
+        );
+        assert!((shares[1].value() - 62.0).abs() < 1e-9, "roomy node absorbs the overflow");
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 120.0).abs() < 1e-9);
+    }
+
+    /// The greedy-overshoot bug: a grant quantum larger than a node's
+    /// distance to its ceiling was handed over whole, because the
+    /// marginal gain was queried without clamping `share + q`.
+    #[test]
+    fn greedy_grant_is_clamped_to_the_ceiling() {
+        let steep = ramp(50.0, 2.0, 3); // rises to its 74 W ceiling
+        let shallow = ramp(50.0, 0.5, 8); // ceiling 114 W
+        let nodes = [
+            NodeCurve { floor: steep.floor, curve: &steep },
+            NodeCurve { floor: shallow.floor, curve: &shallow },
+        ];
+        // With a 16 W quantum the steep node's second grant would land it
+        // at 82 W — one quantum past its 74 W ceiling — before the fix.
+        let shares = water_fill(&nodes, Watts::new(160.0), Watts::new(16.0)).unwrap();
+        assert!(
+            shares[0].value() <= steep.ceiling().value() + 1e-9,
+            "steep node got {} W, above its {} W ceiling",
+            shares[0],
+            steep.ceiling()
+        );
+        assert!((shares[0].value() - 74.0).abs() < 1e-9, "steep node should fill exactly");
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_feeds_the_laggard_first() {
+        // Throughput loves the steep curve; max-min must not let the
+        // shallow node idle at its floor while the steep one feasts.
+        let steep = ramp(50.0, 4.0, 10);
+        let shallow = ramp(50.0, 0.5, 10);
+        let nodes = [
+            NodeCurve { floor: steep.floor, curve: &steep },
+            NodeCurve { floor: shallow.floor, curve: &shallow },
+        ];
+        let global = Watts::new(160.0);
+        let grant = Watts::new(4.0);
+        let tp = fill_shares(&nodes, &[], global, grant, Objective::Throughput).unwrap();
+        let mm = fill_shares(&nodes, &[], global, grant, Objective::MaxMin).unwrap();
+        assert!(tp[1].value() < mm[1].value(), "max-min lifts the shallow node");
+        // Normalized progress ends up (nearly) equal under max-min.
+        let prog = |n: &NodeCurve<'_>, s: Watts| {
+            n.curve.perf_at(s) / n.curve.perf_at(n.curve.ceiling())
+        };
+        let spread = (prog(&nodes[0], mm[0]) - prog(&nodes[1], mm[1])).abs();
+        assert!(spread < 0.15, "progress spread {spread} too wide for max-min");
+        let total: f64 = mm.iter().map(|s| s.value()).sum();
+        assert!((total - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_shares_split_surplus_by_weight() {
+        let c = ramp(50.0, 1.0, 20); // ceiling 210 W, plenty of headroom
+        let nodes = [NodeCurve { floor: c.floor, curve: &c }; 2];
+        let shares =
+            fill_shares(&nodes, &[1.0, 3.0], Watts::new(180.0), Watts::new(4.0), Objective::WeightedShares)
+                .unwrap();
+        // 80 W of surplus split 1:3 → 20 W and 60 W above the floors.
+        let s0 = shares[0].value() - 50.0;
+        let s1 = shares[1].value() - 50.0;
+        assert!((s0 - 20.0).abs() <= 4.0, "weight-1 surplus {s0}");
+        assert!((s1 - 60.0).abs() <= 4.0, "weight-3 surplus {s1}");
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_weights_are_refused() {
+        let c = ramp(50.0, 1.0, 4);
+        let nodes = [NodeCurve { floor: c.floor, curve: &c }; 2];
+        for weights in [vec![1.0], vec![1.0, 0.0], vec![1.0, f64::NAN], vec![-1.0, 1.0]] {
+            let err = fill_shares(
+                &nodes,
+                &weights,
+                Watts::new(140.0),
+                Watts::new(4.0),
+                Objective::WeightedShares,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, PbcError::InvalidInput(_)),
+                "weights {weights:?} should be refused, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn objective_names_round_trip() {
+        for obj in [Objective::Throughput, Objective::MaxMin, Objective::WeightedShares] {
+            assert_eq!(Objective::parse(obj.name()).unwrap(), obj);
+        }
+        assert!(Objective::parse("fifo").is_err());
     }
 
     #[test]

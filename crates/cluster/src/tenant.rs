@@ -1,0 +1,354 @@
+//! Multi-tenant sub-partition: several tenants share every node's
+//! budget.
+//!
+//! FastCap's argument (PAPERS.md) is that a power budget is not just a
+//! throughput resource but an *entitlement*: when co-located workloads
+//! compete for one node budget, each tenant owns a weighted slice of it
+//! regardless of how loudly its neighbors demand watts. This module
+//! layers that entitlement under the per-node COORD: the fleet
+//! partitioner hands a node its share, and [`TenantSet::split_node`]
+//! divides that share among the node's tenants —
+//!
+//! * **weighted floors first**: each tenant is guaranteed
+//!   `weight_i / Σ weights` of the node *floor*, funded before any
+//!   surplus moves — a demand spike on one tenant can never push a
+//!   neighbor below its floor;
+//! * **surplus by SLA tier**: watts above the floor flow tier by tier
+//!   (Gold before Silver before BestEffort), within a tier in
+//!   proportion to `weight × demand`. When a global budget cut shrinks
+//!   the node share, lower tiers are preempted first — the
+//!   deadline-aware half of the FastCap story;
+//! * **conservation**: the sub-shares always sum to the node share, so
+//!   the fleet-level budget invariant is untouched by tenancy.
+//!
+//! Fairness is scored with Jain's index over the weight-normalized
+//! per-tenant allocations ([`jain_index`]), exported per epoch as the
+//! `cluster.tenant_jain` gauge.
+
+use pbc_types::{PbcError, Result, Watts};
+
+/// Tolerance when checking a tenant allocation against its floor.
+const FLOOR_EPS: f64 = 1e-9;
+
+/// Service tier of a tenant, in preemption order: during a budget
+/// crunch, `BestEffort` surplus is revoked before `Silver`, `Silver`
+/// before `Gold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SlaClass {
+    /// Deadline-critical: surplus demand is funded first.
+    Gold,
+    /// Standard service.
+    Silver,
+    /// Scavenger class: runs on whatever is left.
+    BestEffort,
+}
+
+impl SlaClass {
+    /// Every tier, in funding order.
+    pub const ALL: [Self; 3] = [Self::Gold, Self::Silver, Self::BestEffort];
+
+    /// Parse a CLI/wire spelling.
+    #[must_use = "the parse result carries either the tier or the refusal"]
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "gold" => Ok(Self::Gold),
+            "silver" => Ok(Self::Silver),
+            "best-effort" => Ok(Self::BestEffort),
+            other => Err(PbcError::InvalidInput(format!(
+                "unknown SLA class {other:?}: expected gold, silver, or best-effort"
+            ))),
+        }
+    }
+
+    /// The wire spelling `parse` accepts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gold => "gold",
+            Self::Silver => "silver",
+            Self::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// One tenant: a name, a positive entitlement weight, and an SLA tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Display/wire name (unique within a [`TenantSet`]).
+    pub name: String,
+    /// Entitlement weight; floors and surplus shares scale with it.
+    pub weight: f64,
+    /// Preemption tier during budget cuts.
+    pub sla: SlaClass,
+}
+
+/// A validated set of tenants co-located on every node of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSet {
+    tenants: Vec<Tenant>,
+}
+
+/// One node's share divided among its tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSplit {
+    /// Watts per tenant, in [`TenantSet`] order; sums to the node
+    /// share.
+    pub shares: Vec<Watts>,
+    /// Tenants whose surplus demand went unfunded because higher tiers
+    /// drained the node surplus first.
+    pub preemptions: usize,
+    /// Tenants allocated below their weighted floor — structurally
+    /// zero; counted so the chaos harness can assert it from traces.
+    pub floor_violations: usize,
+}
+
+impl TenantSet {
+    /// Build a tenant set, validating names and weights.
+    #[must_use = "the build result carries either the set or the refusal"]
+    pub fn new(tenants: Vec<Tenant>) -> Result<Self> {
+        if tenants.is_empty() {
+            return Err(PbcError::InvalidInput("a tenant set needs at least one tenant".into()));
+        }
+        for t in &tenants {
+            if t.name.is_empty() {
+                return Err(PbcError::InvalidInput("tenant names must be non-empty".into()));
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                return Err(PbcError::InvalidInput(format!(
+                    "tenant {:?}: weight {} must be positive and finite",
+                    t.name, t.weight
+                )));
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if tenants[..i].iter().any(|u| u.name == t.name) {
+                return Err(PbcError::InvalidInput(format!("duplicate tenant name {:?}", t.name)));
+            }
+        }
+        Ok(Self { tenants })
+    }
+
+    /// Parse the wire/CLI spelling: `name:weight[:sla]` groups joined
+    /// by commas, e.g. `prod:3:gold,batch:1:best-effort`. The SLA
+    /// defaults to `best-effort`.
+    #[must_use = "the parse result carries either the set or the refusal"]
+    pub fn parse(spec: &str) -> Result<Self> {
+        let mut tenants = Vec::new();
+        for group in spec.split(',').filter(|g| !g.is_empty()) {
+            let fields: Vec<&str> = group.split(':').collect();
+            let (name, weight, sla) = match fields.as_slice() {
+                [name, weight] => (*name, *weight, SlaClass::BestEffort),
+                [name, weight, sla] => (*name, *weight, SlaClass::parse(sla)?),
+                _ => {
+                    return Err(PbcError::InvalidInput(format!(
+                        "tenant group {group:?} is not name:weight[:sla]"
+                    )))
+                }
+            };
+            let weight: f64 = weight.parse().map_err(|_| {
+                PbcError::InvalidInput(format!("tenant {name:?}: weight {weight:?} is not a number"))
+            })?;
+            tenants.push(Tenant { name: name.to_string(), weight, sla });
+        }
+        Self::new(tenants)
+    }
+
+    /// Number of tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A tenant set is never empty (see [`TenantSet::new`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The tenants, in declaration order.
+    #[must_use]
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.tenants.iter().map(|t| t.weight).sum()
+    }
+
+    /// Each tenant's guaranteed fraction of a node's floor:
+    /// `weight_i / Σ weights`.
+    #[must_use]
+    pub fn floor_fractions(&self) -> Vec<f64> {
+        let total = self.total_weight();
+        self.tenants.iter().map(|t| t.weight / total).collect()
+    }
+
+    /// Divide one node's `share` among the tenants. `floor` is the
+    /// node's class floor (the sub-floor entitlements scale from it);
+    /// `demand` is one multiplier ≥ 1 per tenant (spiking and noisy
+    /// tenants want more surplus). The returned sub-shares sum to
+    /// `share` exactly (± float dust), and every tenant is at or above
+    /// its weighted floor whenever `share ≥ floor` — which the fleet
+    /// partitioner guarantees.
+    #[must_use]
+    pub fn split_node(&self, share: Watts, floor: Watts, demand: &[f64]) -> NodeSplit {
+        let n = self.tenants.len();
+        let fractions = self.floor_fractions();
+        // Weighted floors first. If the share somehow sits below the
+        // node floor (a degenerate caller), scale the floors down
+        // proportionally rather than invent watts.
+        let floor_base = floor.value().min(share.value());
+        let mut sub_w: Vec<f64> = fractions.iter().map(|f| f * floor_base).collect();
+        let mut surplus = (share.value() - floor_base).max(0.0);
+        // Surplus wants: fair share of the surplus scaled by demand.
+        let wants: Vec<f64> = fractions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f * surplus * demand.get(i).copied().unwrap_or(1.0).max(1.0))
+            .collect();
+        let mut granted = vec![0.0f64; n];
+        let mut preemptions = 0usize;
+        let mut higher_tier_fed = false;
+        for tier in SlaClass::ALL {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| self.tenants[i].sla == tier).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let tier_want: f64 = members.iter().map(|&i| wants[i]).sum();
+            if tier_want <= 0.0 {
+                continue;
+            }
+            let give = tier_want.min(surplus);
+            if give < tier_want - FLOOR_EPS && higher_tier_fed {
+                // A higher tier drained the pool before this one was
+                // made whole: its hungry members were preempted. (The
+                // topmost demanding tier falling short is not
+                // preemption — nobody outranked it.)
+                preemptions += members.iter().filter(|&&i| wants[i] > FLOOR_EPS).count();
+            }
+            higher_tier_fed = true;
+            for &i in &members {
+                granted[i] = give * wants[i] / tier_want;
+            }
+            surplus -= give;
+            if surplus <= 0.0 {
+                surplus = 0.0;
+            }
+        }
+        // Conservation: residual surplus (every tier fully fed) goes
+        // out by weight so the sub-shares sum to the node share.
+        if surplus > 0.0 {
+            let total = self.total_weight();
+            for (i, t) in self.tenants.iter().enumerate() {
+                granted[i] += surplus * t.weight / total;
+            }
+        }
+        let mut floor_violations = 0usize;
+        for i in 0..n {
+            sub_w[i] += granted[i];
+            let floor_w = floor.value() * fractions[i];
+            if share.value() >= floor.value() && sub_w[i] < floor_w - FLOOR_EPS {
+                floor_violations += 1;
+            }
+        }
+        NodeSplit {
+            shares: sub_w.into_iter().map(Watts::new).collect(),
+            preemptions,
+            floor_violations,
+        }
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over non-negative
+/// allocations: 1 when perfectly even, `1/n` when one tenant holds
+/// everything. Empty or all-zero input scores 1 (nothing is unfair
+/// about nothing).
+#[must_use]
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(spec: &str) -> TenantSet {
+        TenantSet::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn parse_round_trips_and_validates() {
+        let ts = set("prod:3:gold,web:2:silver,batch:1");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.tenants()[0].sla, SlaClass::Gold);
+        assert_eq!(ts.tenants()[2].sla, SlaClass::BestEffort);
+        assert!((ts.tenants()[1].weight - 2.0).abs() < 1e-12);
+        for bad in ["", "a", "a:b", "a:0", "a:-1", "a:1:platinum", "a:1,a:2"] {
+            assert!(TenantSet::parse(bad).is_err(), "{bad:?} should be refused");
+        }
+        for sla in SlaClass::ALL {
+            assert_eq!(SlaClass::parse(sla.name()).unwrap(), sla);
+        }
+    }
+
+    #[test]
+    fn split_conserves_and_funds_floors() {
+        let ts = set("prod:3:gold,web:2:silver,batch:1:best-effort");
+        let split = ts.split_node(Watts::new(120.0), Watts::new(60.0), &[1.0, 1.0, 1.0]);
+        let total: f64 = split.shares.iter().map(|s| s.value()).sum();
+        assert!((total - 120.0).abs() < 1e-9, "sub-shares must sum to the node share");
+        assert_eq!(split.floor_violations, 0);
+        assert_eq!(split.preemptions, 0, "flat demand fits the surplus exactly");
+        // Weighted floors: 30/20/10 of the 60 W floor, plus surplus.
+        for (i, frac) in ts.floor_fractions().iter().enumerate() {
+            assert!(split.shares[i].value() >= frac * 60.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn spike_cannot_starve_a_neighbor_below_its_floor() {
+        let ts = set("prod:1:gold,hog:1:best-effort");
+        // The hog demands 10x its fair surplus share…
+        let split = ts.split_node(Watts::new(100.0), Watts::new(80.0), &[1.0, 10.0]);
+        let total: f64 = split.shares.iter().map(|s| s.value()).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(split.floor_violations, 0);
+        // …but prod keeps its 40 W weighted floor and its gold-tier
+        // surplus comes out first.
+        assert!(split.shares[0].value() >= 40.0 - 1e-9);
+        assert!(split.shares[0].value() >= 50.0 - 1e-9, "gold surplus is funded before the hog");
+    }
+
+    #[test]
+    fn budget_cut_preempts_lower_tiers_first() {
+        let ts = set("prod:1:gold,web:1:silver,batch:1:best-effort");
+        // Gold alone wants more than the whole surplus: lower tiers get
+        // nothing but their floors, and both count as preempted.
+        let split = ts.split_node(Watts::new(93.0), Watts::new(90.0), &[10.0, 1.0, 1.0]);
+        assert_eq!(split.preemptions, 2);
+        assert_eq!(split.floor_violations, 0);
+        assert!((split.shares[1].value() - 30.0).abs() < 1e-9, "silver is pinned at its floor");
+        assert!((split.shares[2].value() - 30.0).abs() < 1e-9, "best-effort is pinned at its floor");
+        let total: f64 = split.shares.iter().map(|s| s.value()).sum();
+        assert!((total - 93.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "one-holds-all scores 1/n");
+        let mid = jain_index(&[4.0, 2.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+}

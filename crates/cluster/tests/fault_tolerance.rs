@@ -13,7 +13,10 @@
 //! * the degraded-mode static partition sums to ≤ the global budget by
 //!   construction, under randomized floors and ceilings.
 
-use pbc_cluster::{run_cluster_chaos, Fleet, FleetCoordinator, SpecLine, StaticFallback};
+use pbc_cluster::{
+    run_cluster_chaos, run_cluster_chaos_with, Fleet, FleetCoordinator, Objective, SpecLine,
+    StaticFallback, TenantSet,
+};
 use pbc_faults::{BudgetStep, FaultWindow, FleetFaultPlan, FleetWriteFaults, NodeFaults};
 use pbc_trace::json::{self, Value};
 use pbc_trace::names;
@@ -186,6 +189,52 @@ fn budget_cut_during_inflight_quarantine_reclaim_never_overdraws() {
             "seed {seed}: the churn plan crashed nothing, the property was not exercised"
         );
     }
+}
+
+/// The multi-tenant acceptance sweep: 16 seeds of the noisy-neighbor
+/// plan against a weighted three-tenant fleet, under each fairness
+/// objective. A mid-epoch demand spike must never overdraw the global
+/// budget, and no weighted tenant may ever fall below its floor — both
+/// structurally zero, at every seed.
+#[test]
+fn noisy_neighbor_sweep_never_overdraws_or_starves_a_tenant() {
+    let n = 8usize;
+    let global = Watts::new(WATTS_PER_NODE * n as f64);
+    let mut spikes = 0usize;
+    let mut noisy = 0usize;
+    for objective in [Objective::MaxMin, Objective::WeightedShares] {
+        for seed in SEEDS {
+            let plan = FleetFaultPlan::by_name("noisy-neighbor", seed).unwrap();
+            let tenants = TenantSet::parse("web:3:gold,etl:2:silver,batch:1:best-effort").unwrap();
+            let chaos =
+                run_cluster_chaos_with(fleet_of(n), global, &plan, 0, objective, Some(tenants))
+                    .unwrap();
+            assert!(
+                chaos.survived(),
+                "{} seed {seed}: noisy-neighbor run died:\n{chaos}",
+                objective.name()
+            );
+            assert_eq!(
+                chaos.report.budget_violations, 0,
+                "{} seed {seed}: a tenant demand spike overdrew the global budget",
+                objective.name()
+            );
+            assert_eq!(
+                chaos.report.tenant_floor_violations, 0,
+                "{} seed {seed}: a weighted tenant fell below its floor",
+                objective.name()
+            );
+            assert!(
+                chaos.report.min_tenant_jain > 0.0,
+                "{} seed {seed}: degenerate fairness index",
+                objective.name()
+            );
+            spikes += chaos.report.tenant_spikes;
+            noisy += chaos.report.tenant_noisy;
+        }
+    }
+    assert!(spikes > 0, "the sweep fired no demand spikes — nothing was exercised");
+    assert!(noisy > 0, "the sweep fired no noisy-neighbor events — nothing was exercised");
 }
 
 /// The degraded-mode partition is safe by construction: for randomized

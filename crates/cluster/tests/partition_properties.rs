@@ -11,12 +11,13 @@
 //!   mutating `PBC_THREADS`, which is process-global.
 
 use pbc_cluster::{
-    parse_spec, water_fill, ClusterCoordinator, Fleet, NodeCurve, PerfCurve, DEFAULT_GRANT,
+    fill_shares, parse_spec, water_fill, ClusterCoordinator, Fleet, NodeCurve, Objective,
+    PerfCurve, DEFAULT_GRANT,
 };
 use pbc_par::Pool;
 use pbc_platform::presets::by_id;
 use pbc_platform::PlatformId;
-use pbc_types::Watts;
+use pbc_types::{Watts, XorShift64Star};
 use pbc_workloads::by_name;
 
 const MIXED_SPEC: &str = "6 ivybridge stream\n\
@@ -153,6 +154,69 @@ fn homogeneous_fleet_degenerates_to_an_even_split() {
             (share.value() - even).abs() <= DEFAULT_GRANT.value() * 4.0,
             "homogeneous share {share:?} strays from the even split {even}"
         );
+    }
+}
+
+/// The ceiling contract across every objective: for randomized synthetic
+/// fleets whose combined ceilings can absorb the budget, no node is ever
+/// pushed past its own ceiling — the regression the even-spread
+/// conservation step and the unclamped greedy grant both violated.
+#[test]
+fn no_objective_ever_breaches_a_ceiling_the_fleet_can_absorb() {
+    let mut rng = XorShift64Star::new(0x5AFE_FA11_CE11_0001);
+    for case in 0..240 {
+        let n = 2 + (rng.next_u64() % 10) as usize;
+        let mut curves = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            let floor = 20.0 + 100.0 * rng.next_f64();
+            let rungs = 1 + (rng.next_u64() % 12) as usize;
+            let rise = 3.0 * rng.next_f64();
+            let perf: Vec<f64> = (0..=rungs).map(|k| rise * k as f64).collect();
+            let allocs = vec![None; perf.len()];
+            curves.push(PerfCurve {
+                floor: Watts::new(floor),
+                step: Watts::new(8.0),
+                perf,
+                allocs,
+            });
+            weights.push(0.5 + 3.5 * rng.next_f64());
+        }
+        let nodes: Vec<NodeCurve<'_>> = curves
+            .iter()
+            .map(|c| NodeCurve { floor: c.floor, curve: c })
+            .collect();
+        let floor_sum: f64 = nodes.iter().map(|c| c.floor.value()).sum();
+        let ceiling_sum: f64 = nodes.iter().map(|c| c.curve.ceiling().value()).sum();
+        // Anywhere from exactly-the-floors to exactly-the-ceilings.
+        let global = Watts::new(floor_sum + (ceiling_sum - floor_sum) * rng.next_f64());
+        let grant = Watts::new([2.0, 4.0, 16.0][(rng.next_u64() % 3) as usize]);
+        for objective in [Objective::Throughput, Objective::MaxMin, Objective::WeightedShares] {
+            let w: &[f64] = if objective == Objective::WeightedShares { &weights } else { &[] };
+            let shares = fill_shares(&nodes, w, global, grant, objective)
+                .unwrap_or_else(|e| panic!("case {case} {}: refused: {e}", objective.name()));
+            let total: f64 = shares.iter().map(|s| s.value()).sum();
+            assert!(
+                (total - global.value()).abs() < 1e-6,
+                "case {case} {}: shares sum to {total}, budget is {}",
+                objective.name(),
+                global.value()
+            );
+            for (i, share) in shares.iter().enumerate() {
+                assert!(
+                    *share >= nodes[i].floor - Watts::new(1e-9),
+                    "case {case} {} node {i}: share {share:?} below floor {:?}",
+                    objective.name(),
+                    nodes[i].floor
+                );
+                assert!(
+                    share.value() <= nodes[i].curve.ceiling().value() + 1e-6,
+                    "case {case} {} node {i}: share {share:?} breaches ceiling {:?}",
+                    objective.name(),
+                    nodes[i].curve.ceiling()
+                );
+            }
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 //! | [`ext6`] | *extension*: chaos survival — the online loop under every shipped fault plan |
 //! | [`ext7`] | *extension*: cluster-scale coordination — COORD vs uniform split vs oracle at 8/32/128 nodes |
 //! | [`ext8`] | *extension*: fleet fault tolerance — availability, reconvergence, and work retained under chaos plans |
+//! | [`ext9`] | *extension*: multi-tenant fairness frontier — throughput vs max-min vs weighted shares under a noisy neighbor |
 //!
 //! Every experiment returns an [`output::ExperimentOutput`]: rendered text
 //! tables for the terminal plus CSV series for downstream plotting. The
@@ -38,6 +39,7 @@ pub mod ext5;
 pub mod ext6;
 pub mod ext7;
 pub mod ext8;
+pub mod ext9;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -55,9 +57,9 @@ pub use output::{ExperimentOutput, TextTable};
 use pbc_types::Result;
 
 /// Every experiment by name, in paper order.
-pub const EXPERIMENTS: [&str; 20] = [
+pub const EXPERIMENTS: [&str; 21] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
-    "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
+    "table3", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
 ];
 
 /// Run one experiment by name.
@@ -84,6 +86,7 @@ pub fn run(name: &str) -> Result<ExperimentOutput> {
         "ext6" => ext6::run(),
         "ext7" => ext7::run(),
         "ext8" => ext8::run(),
+        "ext9" => ext9::run(),
         other => Err(pbc_types::PbcError::NotFound(format!(
             "experiment {other}; known: {}",
             EXPERIMENTS.join(", ")

@@ -112,6 +112,49 @@ impl FleetWriteFaults {
     };
 }
 
+/// Tenant demand faults: per-tenant demand spikes and noisy neighbors.
+/// Both multiply a tenant's demand signal — a spike is a legitimate
+/// burst (deadline crunch), a noisy neighbor is a sustained hog. The
+/// tenant sub-partition must absorb either without letting the fleet
+/// overdraw the global budget or starve a co-tenant below its weighted
+/// floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantFaults {
+    /// Per-tenant, per-epoch probability of a demand spike while the
+    /// spike window is active.
+    pub spike_prob: f64,
+    /// Epochs `[from, until)` during which spikes can fire.
+    pub spike_window: FaultWindow,
+    /// How many epochs a spike lasts.
+    pub spike_epochs: usize,
+    /// Demand multiplier while spiking (≥ 1).
+    pub spike_factor: f64,
+    /// Per-tenant, per-epoch probability of turning noisy neighbor
+    /// while the noisy window is active.
+    pub noisy_prob: f64,
+    /// Epochs `[from, until)` during which noisy neighbors can appear.
+    pub noisy_window: FaultWindow,
+    /// How many epochs a noisy neighbor keeps hogging.
+    pub noisy_epochs: usize,
+    /// Demand multiplier while noisy (≥ 1, typically larger and longer
+    /// than a spike).
+    pub noisy_factor: f64,
+}
+
+impl TenantFaults {
+    /// Tenant demand stays flat.
+    pub const NONE: Self = Self {
+        spike_prob: 0.0,
+        spike_window: FaultWindow::NEVER,
+        spike_epochs: 0,
+        spike_factor: 1.0,
+        noisy_prob: 0.0,
+        noisy_window: FaultWindow::NEVER,
+        noisy_epochs: 0,
+        noisy_factor: 1.0,
+    };
+}
+
 /// A complete, replayable fleet fault scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetFaultPlan {
@@ -125,6 +168,9 @@ pub struct FleetFaultPlan {
     pub reports: ReportFaults,
     /// Cap-write failures and outages.
     pub writes: FleetWriteFaults,
+    /// Tenant demand spikes and noisy neighbors (inert unless the
+    /// coordinator has tenants attached).
+    pub tenants: TenantFaults,
     /// Epochs `[from, until)` during which global coordination is
     /// unavailable — every node must fall back to its precomputed
     /// static budget.
@@ -137,7 +183,7 @@ pub struct FleetFaultPlan {
 /// The preset plan names [`FleetFaultPlan::by_name`] accepts, in
 /// escalation order. `node-dropouts` and `flaky-writes` keep the
 /// pre-health-machine preset names alive.
-pub const FLEET_PLAN_NAMES: [&str; 9] = [
+pub const FLEET_PLAN_NAMES: [&str; 11] = [
     "calm",
     "node-dropouts",
     "node-crash",
@@ -146,6 +192,8 @@ pub const FLEET_PLAN_NAMES: [&str; 9] = [
     "report-loss",
     "flaky-writes",
     "write-outage",
+    "demand-spike",
+    "noisy-neighbor",
     "everything",
 ];
 
@@ -159,6 +207,7 @@ impl FleetFaultPlan {
             nodes: NodeFaults::NONE,
             reports: ReportFaults::NONE,
             writes: FleetWriteFaults::NONE,
+            tenants: TenantFaults::NONE,
             coordinator_outage: FaultWindow::NEVER,
             budget_steps: Vec::new(),
         }
@@ -280,6 +329,44 @@ impl FleetFaultPlan {
         }
     }
 
+    /// Tenant demand spikes: short legitimate bursts that the tenant
+    /// sub-partition must absorb without the fleet overdrawing or any
+    /// weighted tenant dropping below its floor.
+    #[must_use]
+    pub fn demand_spike(seed: u64) -> Self {
+        Self {
+            name: "demand-spike",
+            tenants: TenantFaults {
+                spike_prob: 0.15,
+                spike_window: FaultWindow::new(2, 30),
+                spike_epochs: 3,
+                spike_factor: 3.0,
+                ..TenantFaults::NONE
+            },
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Noisy neighbors: a tenant hogs demand for long stretches — the
+    /// co-tenants' weighted floors must hold anyway.
+    #[must_use]
+    pub fn noisy_neighbor(seed: u64) -> Self {
+        Self {
+            name: "noisy-neighbor",
+            tenants: TenantFaults {
+                spike_prob: 0.05,
+                spike_window: FaultWindow::new(4, 28),
+                spike_epochs: 2,
+                spike_factor: 2.0,
+                noisy_prob: 0.08,
+                noisy_window: FaultWindow::new(2, 32),
+                noisy_epochs: 8,
+                noisy_factor: 6.0,
+            },
+            ..Self::calm(seed)
+        }
+    }
+
     /// Everything at once: crashes, stragglers, report loss, write
     /// faults, a coordinator outage, and a budget cut — with the budget
     /// steps placed after every write window closes, so the budget
@@ -310,6 +397,16 @@ impl FleetFaultPlan {
                 outage_epochs: 4,
                 outage_window: FaultWindow::new(2, 24),
             },
+            tenants: TenantFaults {
+                spike_prob: 0.10,
+                spike_window: FaultWindow::new(3, 28),
+                spike_epochs: 3,
+                spike_factor: 3.0,
+                noisy_prob: 0.05,
+                noisy_window: FaultWindow::new(4, 26),
+                noisy_epochs: 6,
+                noisy_factor: 4.0,
+            },
             coordinator_outage: FaultWindow::new(32, 36),
             budget_steps: vec![
                 BudgetStep { at: 40, factor: 0.85 },
@@ -331,6 +428,8 @@ impl FleetFaultPlan {
             "report-loss" => Some(Self::report_loss(seed)),
             "flaky-writes" => Some(Self::flaky_writes(seed)),
             "write-outage" => Some(Self::write_outage(seed)),
+            "demand-spike" => Some(Self::demand_spike(seed)),
+            "noisy-neighbor" => Some(Self::noisy_neighbor(seed)),
             "everything" => Some(Self::everything(seed)),
             _ => None,
         }
@@ -348,6 +447,8 @@ impl FleetFaultPlan {
             "report-loss" => Some("reports dropped, delayed, and garbled"),
             "flaky-writes" => Some("cap writes fail stochastically"),
             "write-outage" => Some("whole per-node cap-write paths go down for a stretch"),
+            "demand-spike" => Some("tenant demand bursts the sub-partition must absorb"),
+            "noisy-neighbor" => Some("a tenant hogs demand; co-tenant floors must hold"),
             "everything" => Some("all of it, plus a coordinator outage and a budget cut"),
             _ => None,
         }
@@ -372,9 +473,21 @@ impl FleetFaultPlan {
         } else {
             self.writes.outage_window.until + self.writes.outage_epochs
         };
+        let spike_tail = if self.tenants.spike_window.is_empty() {
+            0
+        } else {
+            self.tenants.spike_window.until + self.tenants.spike_epochs
+        };
+        let noisy_tail = if self.tenants.noisy_window.is_empty() {
+            0
+        } else {
+            self.tenants.noisy_window.until + self.tenants.noisy_epochs
+        };
         let mut t = crash_tail
             .max(straggle_tail)
             .max(outage_tail)
+            .max(spike_tail)
+            .max(noisy_tail)
             .max(self.reports.window.until)
             .max(self.writes.window.until)
             .max(self.coordinator_outage.until);
@@ -395,6 +508,8 @@ impl FleetFaultPlan {
             ("reports.garble_prob", self.reports.garble_prob),
             ("writes.fail_prob", self.writes.fail_prob),
             ("writes.outage_prob", self.writes.outage_prob),
+            ("tenants.spike_prob", self.tenants.spike_prob),
+            ("tenants.noisy_prob", self.tenants.noisy_prob),
         ];
         for (what, p) in probs {
             if !(0.0..=1.0).contains(&p) {
@@ -421,6 +536,24 @@ impl FleetFaultPlan {
                 "{}: writes.outage_epochs must be >= 1 when outages can fire",
                 self.name
             )));
+        }
+        let tenant_events = [
+            ("spike", self.tenants.spike_prob, self.tenants.spike_epochs, self.tenants.spike_factor),
+            ("noisy", self.tenants.noisy_prob, self.tenants.noisy_epochs, self.tenants.noisy_factor),
+        ];
+        for (what, prob, epochs, factor) in tenant_events {
+            if prob > 0.0 && epochs == 0 {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: tenants.{what}_epochs must be >= 1 when {what}s can fire",
+                    self.name
+                )));
+            }
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(PbcError::InvalidInput(format!(
+                    "{}: tenants.{what}_factor {factor} must be a finite multiplier >= 1",
+                    self.name
+                )));
+            }
         }
         if !(self.nodes.slowdown.is_finite() && 0.0 < self.nodes.slowdown && self.nodes.slowdown <= 1.0)
         {
@@ -522,5 +655,25 @@ mod tests {
         let mut plan = FleetFaultPlan::everything(1);
         plan.budget_steps[0].factor = f64::NAN;
         assert!(plan.validate().is_err());
+        let mut plan = FleetFaultPlan::demand_spike(1);
+        plan.tenants.spike_epochs = 0;
+        assert!(plan.validate().is_err(), "armed spikes need a duration");
+        let mut plan = FleetFaultPlan::noisy_neighbor(1);
+        plan.tenants.noisy_factor = 0.5;
+        assert!(plan.validate().is_err(), "a demand multiplier below 1 is not a hog");
+    }
+
+    #[test]
+    fn tenant_presets_cover_their_tails() {
+        let spike = FleetFaultPlan::demand_spike(3);
+        assert_eq!(
+            spike.quiet_after(),
+            spike.tenants.spike_window.until + spike.tenants.spike_epochs
+        );
+        let noisy = FleetFaultPlan::noisy_neighbor(3);
+        assert_eq!(
+            noisy.quiet_after(),
+            noisy.tenants.noisy_window.until + noisy.tenants.noisy_epochs
+        );
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::proto::{self, Request, ServeError};
 use crate::session::Session;
-use pbc_cluster::{parse_spec, ClusterCoordinator, Fleet};
+use pbc_cluster::{parse_spec, ClusterCoordinator, Fleet, Objective, TenantSet};
 use pbc_core::{BudgetOutcome, ObservationOutcome};
 use pbc_par::Pool;
 use pbc_powersim::{CpuMechanismState, MechanismState, NodeOperatingPoint};
@@ -189,7 +189,9 @@ impl ServeEngine {
                 let _ = write!(out, "ok free {id}");
                 Ok(())
             }
-            Request::FleetInit { global, spec } => self.fleet_init(*global, spec, out),
+            Request::FleetInit { global, spec, objective, tenants } => {
+                self.fleet_init(*global, spec, objective.as_deref(), tenants.as_deref(), out)
+            }
             Request::FleetBudget { watts } => self.fleet_budget(*watts, out),
             Request::FleetQuery => self.fleet_query(out),
             Request::Stats => {
@@ -384,11 +386,26 @@ impl ServeEngine {
         Ok(())
     }
 
-    fn fleet_init(&self, global: f64, spec: &str, out: &mut String) -> Result<(), ServeError> {
+    fn fleet_init(
+        &self,
+        global: f64,
+        spec: &str,
+        objective: Option<&str>,
+        tenants: Option<&str>,
+        out: &mut String,
+    ) -> Result<(), ServeError> {
         let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
         if fleet.is_some() {
             return Err(ServeError::FleetState("fleet already initialized".into()));
         }
+        let objective = match objective {
+            Some(name) => Objective::parse(name).map_err(|e| ServeError::Build(e.to_string()))?,
+            None => Objective::default(),
+        };
+        let tenant_set = tenants
+            .map(TenantSet::parse)
+            .transpose()
+            .map_err(|e| ServeError::Build(e.to_string()))?;
         // The wire spec is one token: `count:platform:bench` groups
         // joined by commas. Translate to the spec-file grammar.
         let text: String = spec
@@ -400,11 +417,21 @@ impl ServeEngine {
         let built = Fleet::build(&lines).map_err(|e| ServeError::Build(e.to_string()))?;
         let nodes = built.len();
         let mut coord = ClusterCoordinator::new(built, Watts::new(global))
-            .map_err(|e| ServeError::Build(e.to_string()))?;
+            .map_err(|e| ServeError::Build(e.to_string()))?
+            .with_objective(objective);
+        let tenant_count = tenant_set.as_ref().map_or(0, TenantSet::len);
+        if let Some(set) = tenant_set {
+            coord = coord.with_tenants(set);
+        }
         coord.provision().map_err(|e| ServeError::Build(e.to_string()))?;
         let enforced = coord.enforced_total();
         *fleet = Some(coord);
-        let _ = write!(out, "ok fleet nodes={nodes} enforced={}", enforced.value());
+        let _ = write!(
+            out,
+            "ok fleet nodes={nodes} enforced={} objective={} tenants={tenant_count}",
+            enforced.value(),
+            objective.name()
+        );
         Ok(())
     }
 
@@ -437,12 +464,55 @@ impl ServeEngine {
             .fold((first, first), |(lo, hi), &c| (lo.min(c), hi.max(c)));
         let _ = write!(
             out,
-            "ok fleet nodes={} enforced={} min_cap={} max_cap={}",
+            "ok fleet nodes={} enforced={} min_cap={} max_cap={} objective={} tenants={}",
             caps.len(),
             coord.enforced_total().value(),
             min.value(),
-            max.value()
+            max.value(),
+            coord.objective().name(),
+            coord.tenants().map_or(0, TenantSet::len)
         );
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_init_carries_objective_and_tenants_onto_the_coordinator() {
+        let engine = ServeEngine::new();
+        let mut out = String::new();
+        let d = engine.dispatch_into(
+            "fleet init 800 2:ivybridge:stream,2:haswell:dgemm obj=max-min \
+             tenants=web:3:gold,batch:1",
+            &mut out,
+        );
+        assert_eq!(d, Disposition::Respond);
+        assert!(
+            out.contains("objective=max-min") && out.contains("tenants=2"),
+            "unexpected init response: {out}"
+        );
+        out.clear();
+        engine.dispatch_into("fleet query", &mut out);
+        assert!(
+            out.contains("objective=max-min") && out.contains("tenants=2"),
+            "unexpected query response: {out}"
+        );
+    }
+
+    #[test]
+    fn fleet_init_rejects_garbage_objectives_and_tenants() {
+        for line in [
+            "fleet init 800 2:ivybridge:stream obj=round-robin",
+            "fleet init 800 2:ivybridge:stream tenants=web:0",
+            "fleet init 800 2:ivybridge:stream tenants=web:3,web:1",
+        ] {
+            let engine = ServeEngine::new();
+            let mut out = String::new();
+            engine.dispatch_into(line, &mut out);
+            assert!(out.starts_with("err "), "{line} -> {out}");
+        }
     }
 }

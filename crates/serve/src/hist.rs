@@ -50,11 +50,15 @@ fn bucket_upper(b: usize) -> u64 {
         return b as u64;
     }
     let msb = (b / SUBS) as u32;
-    let sub = (b % SUBS) as u64;
+    let sub = (b % SUBS) as u128;
     // First value of the next sub-bucket, minus one. Addition, not OR:
     // when `sub + 1 == SUBS` the carry must propagate into the next
-    // magnitude (saturating at the top bucket of the u64 range).
-    (1u64 << msb).saturating_add((sub + 1) << (msb - SUB_BITS)) - 1
+    // magnitude. Widened to u128 before shifting: for msb=63 the
+    // sub-bucket term `(sub + 1) << 60` itself overflows u64 on the top
+    // sub-bucket, so the whole expression — not just the add — must be
+    // computed wide, then clamped to the top of the u64 range.
+    let upper = (1u128 << msb) + ((sub + 1) << (msb - SUB_BITS)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
 }
 
 impl LatencyHistogram {
@@ -168,6 +172,39 @@ mod tests {
         assert!(p999 >= 100_000, "p999 {p999} should see the outliers");
         assert!(p50 <= p99 && p99 <= p999);
         assert_eq!(h.percentile(1.0), 5_000_000);
+    }
+
+    /// Edge values around the linear/log boundary and at the very top of
+    /// the u64 range. Before the widening fix, `bucket_upper` computed
+    /// `(sub + 1) << 60` in u64 for the top sub-bucket of msb 63 —
+    /// overflow panic in debug, silent wrap (and a tiny bogus upper
+    /// bound) in release.
+    #[test]
+    fn round_trip_holds_at_the_edges() {
+        for v in [0, SUBS as u64 - 1, SUBS as u64, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            let upper = bucket_upper(b);
+            assert!(upper >= v, "bucket_upper({b}) = {upper} < sample {v}");
+        }
+        // The linear region is exact; the top bucket saturates exactly at
+        // the end of the u64 range.
+        assert_eq!(bucket_upper(bucket_of(0)), 0);
+        assert_eq!(bucket_upper(bucket_of(SUBS as u64 - 1)), SUBS as u64 - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    /// Recording near-u64::MAX samples must keep percentiles sane (the
+    /// user-visible symptom of the overflow was a corrupted p100).
+    #[test]
+    fn extreme_samples_report_conservatively() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert!(h.percentile(0.9) >= u64::MAX - 1);
     }
 
     #[test]

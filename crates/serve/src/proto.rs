@@ -41,9 +41,11 @@ pub enum Request {
     Query { id: u64 },
     /// `free <id>` — close one session.
     Free { id: u64 },
-    /// `fleet init <global-watts> <count>:<platform>:<bench>[,…]` —
-    /// boot the fleet coordinator under one global budget.
-    FleetInit { global: f64, spec: String },
+    /// `fleet init <global-watts> <count>:<platform>:<bench>[,…]
+    /// [obj=<objective>] [tenants=<name>:<weight>[:<sla>][,…]]` — boot
+    /// the fleet coordinator under one global budget, optionally with a
+    /// fairness objective and a co-located tenant set.
+    FleetInit { global: f64, spec: String, objective: Option<String>, tenants: Option<String> },
     /// `fleet budget <watts>` — re-negotiate the global fleet budget.
     FleetBudget { watts: f64 },
     /// `fleet query` — enforced per-node caps of the fleet.
@@ -210,14 +212,35 @@ pub fn parse(line: &str) -> Result<Request, ServeError> {
         }
         "fleet" => match fields.first().copied() {
             Some("init") => {
-                if fields.len() != 3 {
+                if !(3..=5).contains(&fields.len()) {
                     return Err(ServeError::Malformed(
-                        "fleet init takes <global-watts> <spec>".into(),
+                        "fleet init takes <global-watts> <spec> [obj=<objective>] \
+                         [tenants=<spec>]"
+                            .into(),
                     ));
+                }
+                let mut objective = None;
+                let mut tenants = None;
+                for extra in &fields[3..] {
+                    if let Some(name) = extra.strip_prefix("obj=") {
+                        if objective.replace(name.to_string()).is_some() {
+                            return Err(ServeError::Malformed("duplicate obj= field".into()));
+                        }
+                    } else if let Some(spec) = extra.strip_prefix("tenants=") {
+                        if tenants.replace(spec.to_string()).is_some() {
+                            return Err(ServeError::Malformed("duplicate tenants= field".into()));
+                        }
+                    } else {
+                        return Err(ServeError::Malformed(format!(
+                            "unknown fleet init field {extra:?}; known: obj=, tenants="
+                        )));
+                    }
                 }
                 Ok(Request::FleetInit {
                     global: parse_f64(fields[1], "global budget")?,
                     spec: fields[2].to_string(),
+                    objective,
+                    tenants,
                 })
             }
             Some("budget") => {
@@ -307,6 +330,9 @@ mod tests {
             ("query 7", true),
             ("free 7", true),
             ("fleet init 1050 4:ivybridge:stream,2:haswell:dgemm", true),
+            ("fleet init 1050 4:ivybridge:stream obj=max-min", true),
+            ("fleet init 1050 4:ivybridge:stream obj=weighted tenants=web:3:gold,batch:1", true),
+            ("fleet init 1050 4:ivybridge:stream tenants=web:3 obj=throughput", true),
             ("fleet budget 900", true),
             ("fleet query", true),
             ("stats", true),
@@ -330,6 +356,8 @@ mod tests {
             "observe 7 1.0 2.0",              // arity
             "fleet",                          // missing subcommand
             "fleet resize 3",                 // unknown subcommand
+            "fleet init 1050 4:ivybridge:stream color=red", // unknown extra field
+            "fleet init 1050 4:ivybridge:stream obj=a obj=b", // duplicate obj=
             "provision 0 ivybridge stream 208", // zero count
         ] {
             let err = parse(line).unwrap_err();

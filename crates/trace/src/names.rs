@@ -224,6 +224,25 @@ pub const CLUSTER_REJECTED_BUDGETS: &str = "cluster.rejected_budgets";
 /// quarantined, and rejoining nodes, measured against the static
 /// fallback partition (gauge, end of last epoch).
 pub const CLUSTER_RECLAIMED_W: &str = "cluster.reclaimed_w";
+/// Tenants attached to the cluster coordinator (gauge; zero when the
+/// fleet runs single-tenant).
+pub const CLUSTER_TENANTS: &str = "cluster.tenants";
+/// Tenant demand-spike events injected by the fleet fault plan.
+pub const CLUSTER_TENANT_SPIKES: &str = "cluster.tenant_spikes";
+/// Noisy-neighbor events injected by the fleet fault plan (a tenant's
+/// demand hogs its nodes for a stretch).
+pub const CLUSTER_TENANT_NOISY: &str = "cluster.tenant_noisy";
+/// Lower-SLA tenants whose surplus demand was preempted because a
+/// node's budget ran out funding higher tiers first (per tenant, per
+/// epoch).
+pub const CLUSTER_TENANT_PREEMPTIONS: &str = "cluster.tenant_preemptions";
+/// Epochs in which some tenant's allocation fell below its weighted
+/// floor. **Must read zero on every run** — the sub-partition funds
+/// floors before any surplus is handed out.
+pub const CLUSTER_TENANT_FLOOR_VIOLATIONS: &str = "cluster.tenant_floor_violations";
+/// Jain fairness index of the weight-normalized per-tenant allocations,
+/// last epoch (gauge in `(0, 1]`; 1 is perfectly fair).
+pub const CLUSTER_TENANT_JAIN: &str = "cluster.tenant_jain";
 
 // --- coordination daemon (crates/serve) --------------------------------
 

@@ -78,6 +78,30 @@ grep -q '{"type":"counter","name":"health.quarantine_leaks","value":0}' "$chaos_
     || { echo "error: health.quarantine_leaks != 0 in $chaos_trace" >&2; exit 1; }
 echo "    trace laws held: cluster.budget_violations == 0, health.quarantine_leaks == 0"
 
+echo "==> fairness gate (max-min tenants under a noisy neighbor: no overdraw, no starved floor, calm-state Jain)"
+# Same fleet, worst multi-tenant plan: a noisy neighbor inflating one
+# tenant's demand mid-epoch must never overdraw the global budget or
+# starve a weighted tenant below its floor, and once the plan goes
+# quiet the weight-normalized split must settle back to fair. The
+# cluster.tenant_jain gauge in the exported trace is the final
+# (calm-state) epoch's value.
+fair_trace=target/cluster-fairness-trace.jsonl
+rm -f "$fair_trace"
+$chaos_runner ./target/release/pbc cluster-chaos -p "$chaos_spec" -b 1050 \
+    --plan noisy-neighbor --seed 42 --objective max-min \
+    --tenants web:3:gold,etl:2:silver,batch:1 --trace "$fair_trace" > /dev/null \
+    || { echo "error: pbc cluster-chaos (fairness) failed or timed out" >&2; exit 1; }
+grep -q '{"type":"counter","name":"cluster.budget_violations","value":0}' "$fair_trace" \
+    || { echo "error: cluster.budget_violations != 0 in $fair_trace" >&2; exit 1; }
+grep -q '{"type":"counter","name":"cluster.tenant_floor_violations","value":0}' "$fair_trace" \
+    || { echo "error: cluster.tenant_floor_violations != 0 in $fair_trace" >&2; exit 1; }
+jain=$(grep '"name":"cluster.tenant_jain"' "$fair_trace" \
+    | tail -n 1 | sed 's/.*"value"://; s/[^0-9.].*//')
+test -n "$jain" || { echo "error: no cluster.tenant_jain gauge in $fair_trace" >&2; exit 1; }
+awk -v j="$jain" 'BEGIN { exit (j >= 0.95 ? 0 : 1) }' \
+    || { echo "error: calm-state Jain index ${jain} is below the 0.95 bar" >&2; exit 1; }
+echo "    trace laws held: no overdraw, no floor violations, calm-state Jain ${jain} >= 0.95"
+
 echo "==> serve smoke (daemon round trips, drain laws, replay equivalence, via real sockets)"
 cargo test -q -p pbc-serve --test replay_equivalence
 cargo test -q -p pbc-serve --test drain
